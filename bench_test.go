@@ -1,0 +1,419 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§4), plus the ablation benches called out in DESIGN.md.
+// Budgets are scaled down so `go test -bench=.` finishes on a laptop;
+// the cmd/experiments binary runs the same experiments at any scale.
+package gridsched
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gridsched/internal/core"
+	"gridsched/internal/operators"
+	"gridsched/internal/rng"
+	"gridsched/internal/schedule"
+)
+
+func benchInstance(b *testing.B, name string) *Instance {
+	b.Helper()
+	in, err := GenerateInstance(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// --- Table 1: the default parameterization (one full breeding pass) ---
+
+// BenchmarkTable1DefaultConfig runs PA-CGA under the exact Table 1
+// parameterization for a fixed evaluation budget; its throughput is the
+// baseline cost of the paper's configuration.
+func BenchmarkTable1DefaultConfig(b *testing.B) {
+	in := benchInstance(b, "u_c_hihi.0")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := DefaultParams()
+		p.Seed = uint64(i)
+		p.MaxEvaluations = 2000
+		if _, err := Run(in, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 4: speedup (evaluations per fixed wall time vs threads/LS) ---
+
+// BenchmarkFig4SpeedupEvaluations reproduces Fig. 4's measurement: each
+// sub-benchmark runs PA-CGA for a fixed wall budget and reports achieved
+// evaluations as evals/op — compare across thread counts within one
+// local-search series to read the speedup.
+func BenchmarkFig4SpeedupEvaluations(b *testing.B) {
+	in := benchInstance(b, "u_c_hihi.0")
+	const wall = 25 * time.Millisecond
+	for _, ls := range []int{0, 1, 5, 10} {
+		for threads := 1; threads <= 4; threads++ {
+			b.Run(fmt.Sprintf("ls=%d/threads=%d", ls, threads), func(b *testing.B) {
+				var evals int64
+				for i := 0; i < b.N; i++ {
+					p := DefaultParams()
+					p.Local = operators.H2LL{Iterations: ls}
+					p.Threads = threads
+					p.Seed = uint64(i)
+					p.MaxDuration = wall
+					res, err := Run(in, p)
+					if err != nil {
+						b.Fatal(err)
+					}
+					evals += res.Evaluations
+				}
+				b.ReportMetric(float64(evals)/float64(b.N), "evals/op")
+			})
+		}
+	}
+}
+
+// --- Fig. 5: operator configurations (opx/tpx × 5/10 LS iterations) ---
+
+// BenchmarkFig5OperatorConfigs runs each of the figure's four
+// configurations at equal evaluation budgets and reports the achieved
+// makespan, so the relative ranking (tpx/10 best) can be read directly.
+func BenchmarkFig5OperatorConfigs(b *testing.B) {
+	in := benchInstance(b, "u_i_hihi.0")
+	configs := []struct {
+		name string
+		cx   operators.Crossover
+		ls   int
+	}{
+		{"opx-5", operators.OnePoint{}, 5},
+		{"tpx-5", operators.TwoPoint{}, 5},
+		{"opx-10", operators.OnePoint{}, 10},
+		{"tpx-10", operators.TwoPoint{}, 10},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			var sum float64
+			for i := 0; i < b.N; i++ {
+				p := DefaultParams()
+				p.Crossover = cfg.cx
+				p.Local = operators.H2LL{Iterations: cfg.ls}
+				p.Seed = uint64(i)
+				p.MaxEvaluations = 4000
+				res, err := Run(in, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum += res.BestFitness
+			}
+			b.ReportMetric(sum/float64(b.N), "makespan")
+		})
+	}
+}
+
+// --- Table 2: literature comparison ---
+
+// BenchmarkTable2Comparison runs the four algorithm columns at equal
+// evaluation budgets on one inconsistent high-heterogeneity instance
+// (the class the paper highlights) and reports achieved makespans.
+func BenchmarkTable2Comparison(b *testing.B) {
+	in := benchInstance(b, "u_i_hihi.0")
+	const budget = 4000
+	report := func(b *testing.B, run func(seed uint64) (float64, error)) {
+		var sum float64
+		for i := 0; i < b.N; i++ {
+			v, err := run(uint64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sum += v
+		}
+		b.ReportMetric(sum/float64(b.N), "makespan")
+	}
+	b.Run("struggle-ga", func(b *testing.B) {
+		report(b, func(seed uint64) (float64, error) {
+			res, err := RunStruggle(in, StruggleConfig{Seed: seed, SeedMinMin: true, MaxEvaluations: budget})
+			if err != nil {
+				return 0, err
+			}
+			return res.BestFitness, nil
+		})
+	})
+	b.Run("cma-lth", func(b *testing.B) {
+		report(b, func(seed uint64) (float64, error) {
+			res, err := RunCMALTH(in, CMALTHConfig{Seed: seed, SeedMinMin: true, MaxEvaluations: budget})
+			if err != nil {
+				return 0, err
+			}
+			return res.BestFitness, nil
+		})
+	})
+	b.Run("pa-cga-short", func(b *testing.B) {
+		report(b, func(seed uint64) (float64, error) {
+			p := DefaultParams()
+			p.Seed = seed
+			p.MaxEvaluations = budget / 9 // the paper's CPU-ratio column
+			res, err := Run(in, p)
+			if err != nil {
+				return 0, err
+			}
+			return res.BestFitness, nil
+		})
+	})
+	b.Run("pa-cga-full", func(b *testing.B) {
+		report(b, func(seed uint64) (float64, error) {
+			p := DefaultParams()
+			p.Seed = seed
+			p.MaxEvaluations = budget
+			res, err := Run(in, p)
+			if err != nil {
+				return 0, err
+			}
+			return res.BestFitness, nil
+		})
+	})
+}
+
+// --- Fig. 6: convergence per thread count ---
+
+// BenchmarkFig6Convergence runs PA-CGA with convergence recording for
+// each thread count and reports the final mean population makespan after
+// a fixed generation budget.
+func BenchmarkFig6Convergence(b *testing.B) {
+	in := benchInstance(b, "u_c_hihi.0")
+	for threads := 1; threads <= 4; threads++ {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			var final float64
+			for i := 0; i < b.N; i++ {
+				p := DefaultParams()
+				p.Threads = threads
+				p.Seed = uint64(i)
+				p.MaxGenerations = 10
+				p.RecordConvergence = true
+				res, err := Run(in, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n := len(res.Convergence); n > 0 {
+					final += res.Convergence[n-1]
+				}
+			}
+			b.ReportMetric(final/float64(b.N), "mean-makespan")
+		})
+	}
+}
+
+// --- Ablation 1 (§3.3): transposed vs row-major ETC layout ---
+
+// The paper stores the transposed ETC so that summing a machine's tasks
+// walks memory sequentially. These two benches run the same
+// completion-time recomputation through each layout.
+func BenchmarkETCLayoutTransposed(b *testing.B) {
+	in := benchInstance(b, "u_c_hihi.0")
+	s := schedule.NewRandom(in, rng.New(1))
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for m := 0; m < in.M; m++ {
+			acc := 0.0
+			for t := 0; t < in.T; t++ {
+				if s.S[t] == m {
+					acc += in.ETC(t, m) // Col[m*T+t]: sequential in t
+				}
+			}
+			sink += acc
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkETCLayoutRowMajor is the counterpart using the row-major
+// layout (strided access in the same loop shape).
+func BenchmarkETCLayoutRowMajor(b *testing.B) {
+	in := benchInstance(b, "u_c_hihi.0")
+	s := schedule.NewRandom(in, rng.New(1))
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for m := 0; m < in.M; m++ {
+			acc := 0.0
+			for t := 0; t < in.T; t++ {
+				if s.S[t] == m {
+					acc += in.ETCRow(t, m) // Row[t*M+m]: stride M in t
+				}
+			}
+			sink += acc
+		}
+	}
+	_ = sink
+}
+
+// --- Ablation 2: locking strategy ---
+
+// BenchmarkLockingStrategy compares the paper's per-individual RW locks
+// against a per-individual plain mutex and one global mutex, at 4
+// threads and a fixed evaluation budget; throughput differences show how
+// much the shared-read design buys.
+func BenchmarkLockingStrategy(b *testing.B) {
+	in := benchInstance(b, "u_c_hihi.0")
+	for _, mode := range []core.LockMode{core.PerCellRWMutex, core.PerCellMutex, core.GlobalMutex} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := DefaultParams()
+				p.Threads = 4
+				p.LockMode = mode
+				p.Seed = uint64(i)
+				p.MaxEvaluations = 4000
+				if _, err := Run(in, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablation 3: incremental vs full fitness evaluation ---
+
+func BenchmarkIncrementalEval(b *testing.B) {
+	in := benchInstance(b, "u_c_hihi.0")
+	s := schedule.NewRandom(in, rng.New(1))
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = s.Makespan()
+	}
+	_ = sink
+}
+
+func BenchmarkFullRecomputeEval(b *testing.B) {
+	in := benchInstance(b, "u_c_hihi.0")
+	s := schedule.NewRandom(in, rng.New(1))
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = s.MakespanFull()
+	}
+	_ = sink
+}
+
+// --- Ablation 4: H2LL candidate-set size ---
+
+func BenchmarkH2LLCandidates(b *testing.B) {
+	in := benchInstance(b, "u_c_hihi.0")
+	for _, n := range []int{2, 4, 8, 15} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := rng.New(1)
+			s := schedule.NewRandom(in, r)
+			ls := operators.H2LL{Iterations: 10, Candidates: n}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ls.Apply(s, r)
+			}
+		})
+	}
+}
+
+// --- Ablation 5: asynchronous vs synchronous cellular GA ---
+
+func BenchmarkAsyncVsSync(b *testing.B) {
+	in := benchInstance(b, "u_c_hihi.0")
+	run := func(b *testing.B, sync bool) {
+		var sum float64
+		for i := 0; i < b.N; i++ {
+			p := DefaultParams()
+			p.Threads = 1
+			p.Seed = uint64(i)
+			p.MaxEvaluations = 4000
+			var res *Result
+			var err error
+			if sync {
+				res, err = RunSync(in, p)
+			} else {
+				res, err = Run(in, p)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			sum += res.BestFitness
+		}
+		b.ReportMetric(sum/float64(b.N), "makespan")
+	}
+	b.Run("async", func(b *testing.B) { run(b, false) })
+	b.Run("sync", func(b *testing.B) { run(b, true) })
+}
+
+// --- Future work (§5): bigger instances, more parallelism ---
+
+// BenchmarkScalabilityLargeInstance exercises the paper's stated future
+// work: the same algorithm on a benchmark 8× larger (4096 tasks × 64
+// machines) with thread counts past the paper's 4. Compare evals/op
+// across thread counts to see where the shared-memory design saturates.
+func BenchmarkScalabilityLargeInstance(b *testing.B) {
+	cl := Class{Consistency: Inconsistent, TaskHet: HighHet, MachineHet: HighHet}
+	in, err := Generate(GenSpec{Class: cl, Tasks: 4096, Machines: 64, Seed: 99})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			var evals int64
+			for i := 0; i < b.N; i++ {
+				p := DefaultParams()
+				p.Threads = threads
+				p.Seed = uint64(i)
+				p.MaxDuration = 50 * time.Millisecond
+				res, err := Run(in, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				evals += res.Evaluations
+			}
+			b.ReportMetric(float64(evals)/float64(b.N), "evals/op")
+		})
+	}
+}
+
+// --- Grid simulation (dynamic environment substrate) ---
+
+// BenchmarkSimulatedExecution replays a PA-CGA schedule on the
+// discrete-event simulator under noise and failures: the cost of
+// validating a plan against the dynamic environment.
+func BenchmarkSimulatedExecution(b *testing.B) {
+	in := benchInstance(b, "u_i_hihi.0")
+	p := DefaultParams()
+	p.Seed = 1
+	p.MaxEvaluations = 4000
+	res, err := Run(in, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mtbf := res.BestFitness / 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := SimConfig{Seed: uint64(i), NoiseSigma: 0.2, MTBF: mtbf, RepairTime: mtbf / 5}
+		if _, err := Simulate(in, res.Best, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- End-to-end throughput on the benchmark suite ---
+
+// BenchmarkPACGAAllInstances runs a short PA-CGA on each of the 12
+// benchmark instances; regressions here flag performance problems in any
+// layer of the stack.
+func BenchmarkPACGAAllInstances(b *testing.B) {
+	suite, err := BenchmarkSuite()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, in := range suite {
+		b.Run(in.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := DefaultParams()
+				p.Seed = uint64(i)
+				p.MaxEvaluations = 2000
+				if _, err := Run(in, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,118 @@
+// Command etcgen generates Braun-style ETC benchmark instances and
+// prints or saves them in the HCSP text format, or inspects an existing
+// instance file.
+//
+// Usage:
+//
+//	etcgen -instance u_i_hihi.0 -o u_i_hihi.0.etc
+//	etcgen -all -dir bench/              # write the full 12-instance suite
+//	etcgen -inspect u_i_hihi.0.etc       # print summary statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"gridsched"
+	"gridsched/internal/etc"
+	"gridsched/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("etcgen: ")
+
+	var (
+		instName = flag.String("instance", "u_c_hihi.0", "instance name to generate (u_x_yyzz.k)")
+		tasks    = flag.Int("tasks", etc.DefaultTasks, "number of tasks")
+		machines = flag.Int("machines", etc.DefaultMachines, "number of machines")
+		seed     = flag.Uint64("seed", 0, "explicit seed (0 = derive from instance name)")
+		out      = flag.String("o", "", "output file (default stdout)")
+		all      = flag.Bool("all", false, "generate the full 12-instance benchmark suite")
+		dir      = flag.String("dir", ".", "output directory for -all")
+		inspect  = flag.String("inspect", "", "inspect an existing instance file instead of generating")
+	)
+	flag.Parse()
+
+	switch {
+	case *inspect != "":
+		if err := inspectFile(*inspect); err != nil {
+			log.Fatal(err)
+		}
+	case *all:
+		suite, err := gridsched.BenchmarkSuite()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, in := range suite {
+			path := filepath.Join(*dir, in.Name+".etc")
+			if err := writeFile(in, path); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s  (%s)\n", path, in.Blazewicz())
+		}
+	default:
+		cl, err := etc.ParseClass(*instName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec := etc.GenSpec{Class: cl, Tasks: *tasks, Machines: *machines, Seed: *seed}
+		var in *gridsched.Instance
+		if *seed == 0 && *tasks == etc.DefaultTasks && *machines == etc.DefaultMachines {
+			in, err = gridsched.GenerateInstance(*instName) // canonical fixed seed
+		} else {
+			in, err = gridsched.Generate(spec)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *out == "" {
+			if err := gridsched.WriteInstance(in, os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		if err := writeFile(in, *out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s  (%s)\n", *out, in.Blazewicz())
+	}
+}
+
+func writeFile(in *gridsched.Instance, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return gridsched.WriteInstance(in, f)
+}
+
+func inspectFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	in, err := gridsched.ReadInstance(filepath.Base(path), f)
+	if err != nil {
+		return err
+	}
+	lo, hi := in.MinMaxETC()
+	m := etc.ComputeMetrics(in)
+	fmt.Printf("instance     %s\n", in.Name)
+	fmt.Printf("dims         %d tasks x %d machines\n", in.T, in.M)
+	fmt.Printf("notation     %s\n", in.Blazewicz())
+	fmt.Printf("etc range    [%.2f, %.2f]\n", lo, hi)
+	fmt.Printf("etc mean     %.2f  (std %.2f)\n", stats.Mean(in.Row), stats.StdDev(in.Row))
+	fmt.Printf("task het     %.3f  (CV of mean task sizes)\n", m.TaskHeterogeneity)
+	fmt.Printf("machine het  %.3f  (mean per-task CV)\n", m.MachineHeterogeneity)
+	fmt.Printf("consistency  %.3f  (1 = fully consistent)\n", m.ConsistencyIndex)
+	fmt.Printf("ideal bound  makespan >= %.2f\n", m.IdealMakespan)
+	mm := gridsched.MinMin(in)
+	fmt.Printf("min-min      makespan %.2f\n", mm.Makespan())
+	return nil
+}

@@ -1,0 +1,296 @@
+// Package gridsched is a reproduction of "A New Parallel Asynchronous
+// Cellular Genetic Algorithm for Scheduling in Grids" (Pinel, Dorronsoro,
+// Bouvry; IPDPS Workshops 2010) as a reusable Go library.
+//
+// It schedules independent tasks on heterogeneous machines under the
+// Expected Time to Compute (ETC) model, minimizing makespan, using the
+// paper's PA-CGA: a cellular genetic algorithm whose toroidal population
+// is partitioned into contiguous blocks evolved asynchronously by
+// concurrent goroutines, with per-individual read-write locks and the
+// H2LL local search. The package also bundles the classic constructive
+// heuristics (Min-min & co.), two literature metaheuristic baselines
+// (Struggle GA and cMA+LTH), and the experiment harness reproducing the
+// paper's tables and figures.
+//
+// Quick start:
+//
+//	inst, _ := gridsched.GenerateInstance("u_i_hihi.0")
+//	p := gridsched.DefaultParams()
+//	p.MaxDuration = 2 * time.Second
+//	res, _ := gridsched.Run(inst, p)
+//	fmt.Println("makespan:", res.BestFitness)
+//
+// The subpackages under internal/ hold the implementation; this package
+// is the supported public surface.
+package gridsched
+
+import (
+	"io"
+
+	"gridsched/internal/baselines"
+	"gridsched/internal/core"
+	"gridsched/internal/etc"
+	"gridsched/internal/experiments"
+	"gridsched/internal/gridsim"
+	"gridsched/internal/heuristics"
+	"gridsched/internal/islands"
+	"gridsched/internal/operators"
+	"gridsched/internal/rng"
+	"gridsched/internal/schedule"
+	"gridsched/internal/stats"
+	"gridsched/internal/topology"
+)
+
+// --- Instances (ETC model) ---
+
+// Instance is an ETC scheduling instance: tasks × machines expected
+// execution times plus per-machine ready times.
+type Instance = etc.Instance
+
+// Class identifies a Braun benchmark family (consistency × task
+// heterogeneity × machine heterogeneity), e.g. u_c_hihi.0.
+type Class = etc.Class
+
+// GenSpec parameterizes synthetic instance generation.
+type GenSpec = etc.GenSpec
+
+// Consistency and heterogeneity enums of the Braun instance classes.
+const (
+	Consistent     = etc.Consistent
+	Inconsistent   = etc.Inconsistent
+	SemiConsistent = etc.SemiConsistent
+	LowHet         = etc.Low
+	HighHet        = etc.High
+)
+
+// GenerateInstance builds the named Braun-style benchmark instance
+// (e.g. "u_c_hihi.0") at the paper's 512×16 dimensions,
+// deterministically.
+func GenerateInstance(name string) (*Instance, error) { return etc.GenerateByName(name) }
+
+// Generate builds a synthetic instance from an explicit specification.
+func Generate(spec GenSpec) (*Instance, error) { return etc.Generate(spec) }
+
+// BenchmarkSuite returns the paper's 12 evaluation instances.
+func BenchmarkSuite() ([]*Instance, error) { return etc.Benchmark() }
+
+// NewInstanceFromMatrix builds an instance from an explicit row-major
+// ETC matrix (len = tasks×machines); useful when workloads and machine
+// speeds come from an application rather than the benchmark generator.
+func NewInstanceFromMatrix(name string, tasks, machines int, row []float64) (*Instance, error) {
+	return etc.New(name, tasks, machines, row)
+}
+
+// InstanceMetrics summarizes an ETC matrix: heterogeneity coefficients,
+// the consistency index and the load-balance lower bound on makespan.
+type InstanceMetrics = etc.Metrics
+
+// ComputeMetrics measures an instance's statistical character.
+func ComputeMetrics(in *Instance) InstanceMetrics { return etc.ComputeMetrics(in) }
+
+// ReadInstance parses the HCSP text format (header "tasks machines"
+// followed by one ETC value per line).
+func ReadInstance(name string, r io.Reader) (*Instance, error) { return etc.Read(name, r) }
+
+// WriteInstance serializes an instance in the HCSP text format.
+func WriteInstance(in *Instance, w io.Writer) error { return in.Write(w) }
+
+// --- Schedules ---
+
+// Schedule is a task→machine assignment with incrementally maintained
+// per-machine completion times; Makespan is its fitness.
+type Schedule = schedule.Schedule
+
+// NewSchedule returns an empty schedule for the instance.
+func NewSchedule(in *Instance) *Schedule { return schedule.New(in) }
+
+// RandomSchedule returns a uniformly random complete schedule.
+func RandomSchedule(in *Instance, seed uint64) *Schedule {
+	return schedule.NewRandom(in, rng.New(seed))
+}
+
+// --- PA-CGA (the paper's algorithm) ---
+
+// Params configures PA-CGA; see DefaultParams for the paper's Table 1
+// values.
+type Params = core.Params
+
+// Result reports a run: best schedule, fitness, evaluation and
+// generation counts, and the optional convergence series.
+type Result = core.Result
+
+// DefaultParams returns the paper's Table 1 configuration (16×16
+// population, L5 neighborhood, best-2 selection, tpx crossover, move
+// mutation, H2LL×10, replace-if-better, 3 threads).
+func DefaultParams() Params { return core.DefaultParams() }
+
+// Run executes the parallel asynchronous cellular GA.
+func Run(in *Instance, p Params) (*Result, error) { return core.Run(in, p) }
+
+// RunSync executes the synchronous cellular GA variant (single thread,
+// generation barrier); the substrate of the cMA baseline and the
+// async-vs-sync ablation.
+func RunSync(in *Instance, p Params) (*Result, error) { return core.RunSync(in, p) }
+
+// Operator constructors for Params customization.
+
+// CrossoverByName resolves "opx", "tpx" or "ux".
+func CrossoverByName(name string) (operators.Crossover, error) { return operators.ParseCrossover(name) }
+
+// MutationByName resolves "move", "swap" or "rebalance".
+func MutationByName(name string) (operators.Mutation, error) { return operators.ParseMutation(name) }
+
+// H2LL returns the paper's local search with the given iteration budget.
+func H2LL(iterations int) operators.LocalSearch { return operators.H2LL{Iterations: iterations} }
+
+// NeighborhoodByName resolves "L5", "C9" or "L9".
+func NeighborhoodByName(name string) (topology.Neighborhood, error) {
+	return topology.ParseNeighborhood(name)
+}
+
+// --- Constructive heuristics ---
+
+// MinMin runs the Min-min heuristic (the population seed of Table 1).
+func MinMin(in *Instance) *Schedule { return heuristics.MinMin(in) }
+
+// MaxMin runs the Max-min heuristic.
+func MaxMin(in *Instance) *Schedule { return heuristics.MaxMin(in) }
+
+// Sufferage runs the Sufferage heuristic.
+func Sufferage(in *Instance) *Schedule { return heuristics.Sufferage(in) }
+
+// HeuristicByName resolves any of minmin, maxmin, mct, met, olb,
+// sufferage, ljfr-sjfr.
+func HeuristicByName(name string) (func(*Instance) *Schedule, error) {
+	h, err := heuristics.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// HeuristicNames lists the available constructive heuristics.
+func HeuristicNames() []string { return heuristics.Names() }
+
+// --- Literature baselines (Table 2 comparators) ---
+
+// StruggleConfig configures the Struggle GA baseline.
+type StruggleConfig = baselines.StruggleConfig
+
+// CMALTHConfig configures the cellular memetic (tabu hook) baseline.
+type CMALTHConfig = baselines.CMALTHConfig
+
+// RunStruggle executes the Struggle GA of Xhafa (2006).
+func RunStruggle(in *Instance, cfg StruggleConfig) (*Result, error) {
+	return baselines.Struggle(in, cfg)
+}
+
+// RunCMALTH executes the cellular memetic algorithm with local tabu hook
+// of Xhafa et al. (2008).
+func RunCMALTH(in *Instance, cfg CMALTHConfig) (*Result, error) {
+	return baselines.CMALTH(in, cfg)
+}
+
+// GenerationalConfig configures the panmictic generational GA baseline —
+// the "regular GA" cellular GAs are claimed to outperform (§1).
+type GenerationalConfig = baselines.GenerationalConfig
+
+// RunGenerational executes the panmictic generational GA.
+func RunGenerational(in *Instance, cfg GenerationalConfig) (*Result, error) {
+	return baselines.Generational(in, cfg)
+}
+
+// IslandConfig configures the distributed island-model cellular GA: the
+// message-passing parallelization contrasted with PA-CGA's shared
+// memory. Islands evolve lock-free private populations coupled only by
+// elite migration over a channel ring.
+type IslandConfig = islands.Config
+
+// RunIslands executes the island-model cellular GA.
+func RunIslands(in *Instance, cfg IslandConfig) (*Result, error) {
+	return islands.Run(in, cfg)
+}
+
+// --- Grid simulation (§2.1's dynamic environment) ---
+
+// SimConfig configures the discrete-event grid simulator: execution-time
+// noise, machine failures (MTBF / repair time) and the rescheduling
+// policy for orphaned tasks.
+type SimConfig = gridsim.Config
+
+// SimResult reports a simulated execution: actual vs predicted makespan,
+// failure/restart counts, per-task finish times and an optional trace.
+type SimResult = gridsim.Result
+
+// Simulate executes a schedule on the simulated dynamic grid. With zero
+// noise and no failures the simulated makespan equals the schedule's
+// predicted makespan exactly.
+func Simulate(in *Instance, s *Schedule, cfg SimConfig) (*SimResult, error) {
+	return gridsim.Simulate(in, s, cfg)
+}
+
+// --- Experiments (paper reproduction) ---
+
+// Scale sets experiment budgets (replications × wall time or evaluation
+// budget); CIScale is laptop-friendly, PaperScale is the full protocol.
+type Scale = experiments.Scale
+
+// CIScale returns deterministic, fast experiment budgets.
+func CIScale() Scale { return experiments.CIScale() }
+
+// PaperScale returns the paper's 100×90 s budgets.
+func PaperScale() Scale { return experiments.PaperScale() }
+
+// Experiment entry points; each returns structured rows, and the
+// corresponding Render function formats them like the paper.
+
+// Fig4Row etc. re-export the experiment row types.
+type (
+	Fig4Row    = experiments.Fig4Row
+	Fig5Cell   = experiments.Fig5Cell
+	Table2Row  = experiments.Table2Row
+	Fig6Series = experiments.Fig6Series
+)
+
+// Fig4 measures evaluation-throughput speedup vs threads and H2LL
+// iterations (requires a wall-clock scale).
+func Fig4(in *Instance, sc Scale) ([]Fig4Row, error) { return experiments.Fig4(in, sc) }
+
+// Fig5 compares opx/tpx × 5/10 H2LL iterations over instances.
+func Fig5(ins []*Instance, sc Scale) ([]Fig5Cell, error) { return experiments.Fig5(ins, sc) }
+
+// Table2 compares PA-CGA against the reimplemented literature baselines.
+func Table2(ins []*Instance, sc Scale) ([]Table2Row, error) { return experiments.Table2(ins, sc) }
+
+// Fig6 records population convergence for 1..4 threads.
+func Fig6(in *Instance, sc Scale) ([]Fig6Series, error) { return experiments.Fig6(in, sc) }
+
+// DiversitySeries is one population model's diversity trajectory.
+type DiversitySeries = experiments.DiversitySeries
+
+// DiversityStudy compares how cellular and panmictic populations retain
+// genotypic diversity — §3.1's founding claim.
+func DiversityStudy(in *Instance, sc Scale) ([]DiversitySeries, error) {
+	return experiments.DiversityStudy(in, sc)
+}
+
+// Render helpers (text output in the paper's shape).
+var (
+	RenderFig4      = experiments.RenderFig4
+	RenderFig5      = experiments.RenderFig5
+	RenderTable2    = experiments.RenderTable2
+	RenderFig6      = experiments.RenderFig6
+	RenderDiversity = experiments.RenderDiversity
+	Table1          = experiments.Table1
+)
+
+// --- Statistics re-exports used by downstream analysis ---
+
+// BoxPlot is a five-number summary with 95 % median notches.
+type BoxPlot = stats.BoxPlot
+
+// NewBoxPlot summarizes a sample.
+func NewBoxPlot(xs []float64) (BoxPlot, error) { return stats.NewBoxPlot(xs) }
+
+// RankSum is the two-sided Mann-Whitney test (U statistic, p-value).
+func RankSum(xs, ys []float64) (float64, float64, error) { return stats.RankSum(xs, ys) }

@@ -1,0 +1,149 @@
+package baselines
+
+import (
+	"testing"
+
+	"gridsched/internal/heuristics"
+	"gridsched/internal/rng"
+	"gridsched/internal/schedule"
+)
+
+func TestGenerationalBasic(t *testing.T) {
+	in := testInstance(t, 20)
+	res, err := Generational(in, GenerationalConfig{Seed: 1, MaxGenerations: 10, PopSize: 64, SeedMinMin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Best.Complete() {
+		t.Fatal("incomplete best")
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Generations != 10 {
+		t.Fatalf("generations %d, want 10", res.Generations)
+	}
+	// 64 initial + 10 * (64-2 elite) breedings.
+	if want := int64(64 + 10*62); res.Evaluations != want {
+		t.Fatalf("evaluations %d, want %d", res.Evaluations, want)
+	}
+}
+
+func TestGenerationalDeterministic(t *testing.T) {
+	in := testInstance(t, 21)
+	cfg := GenerationalConfig{Seed: 3, MaxGenerations: 5, PopSize: 32}
+	a, err := Generational(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generational(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestFitness != b.BestFitness || a.Evaluations != b.Evaluations {
+		t.Fatal("generational runs with identical seed differ")
+	}
+}
+
+func TestGenerationalElitismMonotoneBest(t *testing.T) {
+	// With elitism the best fitness can never worsen across generations.
+	in := testInstance(t, 22)
+	short, err := Generational(in, GenerationalConfig{Seed: 5, MaxGenerations: 2, PopSize: 64, SeedMinMin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Generational(in, GenerationalConfig{Seed: 5, MaxGenerations: 30, PopSize: 64, SeedMinMin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.BestFitness > short.BestFitness {
+		t.Fatalf("best worsened with more generations: %v -> %v", short.BestFitness, long.BestFitness)
+	}
+}
+
+func TestGenerationalKeepsMinMinSeedThroughElitism(t *testing.T) {
+	in := testInstance(t, 23)
+	mm := heuristics.MinMin(in).Makespan()
+	res, err := Generational(in, GenerationalConfig{Seed: 7, MaxGenerations: 5, PopSize: 32, SeedMinMin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness > mm {
+		t.Fatalf("best %v worse than the elitism-protected Min-min seed %v", res.BestFitness, mm)
+	}
+}
+
+func TestGenerationalValidation(t *testing.T) {
+	in := testInstance(t, 24)
+	if _, err := Generational(in, GenerationalConfig{Seed: 1}); err == nil {
+		t.Fatal("accepted missing stop condition")
+	}
+	if _, err := Generational(in, GenerationalConfig{Seed: 1, PopSize: 1, MaxGenerations: 1}); err == nil {
+		t.Fatal("accepted tiny population")
+	}
+	if _, err := Generational(in, GenerationalConfig{Seed: 1, PopSize: 4, Elite: 4, MaxGenerations: 1}); err == nil {
+		t.Fatal("accepted elite >= population")
+	}
+}
+
+func TestGenerationalEvaluationBudget(t *testing.T) {
+	in := testInstance(t, 25)
+	res, err := Generational(in, GenerationalConfig{Seed: 9, MaxEvaluations: 500, PopSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations > 500+64 {
+		t.Fatalf("evaluations %d overshot the 500 budget", res.Evaluations)
+	}
+}
+
+func TestGenerationalWithLocalSearch(t *testing.T) {
+	in := testInstance(t, 26)
+	plain, err := Generational(in, GenerationalConfig{Seed: 11, MaxEvaluations: 3000, PopSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	memetic, err := Generational(in, GenerationalConfig{Seed: 11, MaxEvaluations: 3000, PopSize: 64, LSIters: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memetic.BestFitness >= plain.BestFitness {
+		t.Fatalf("H2LL-boosted GA (%v) not better than plain (%v) at equal evals", memetic.BestFitness, plain.BestFitness)
+	}
+}
+
+func TestGenerationalDiversityRecordingDecreases(t *testing.T) {
+	in := testInstance(t, 27)
+	res, err := Generational(in, GenerationalConfig{Seed: 13, MaxGenerations: 25, PopSize: 64, RecordDiversity: true, RecordConvergence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diversity) != 25 || len(res.Convergence) != 25 {
+		t.Fatalf("series lengths %d/%d", len(res.Diversity), len(res.Convergence))
+	}
+	if res.Diversity[24] >= res.Diversity[0] {
+		t.Fatalf("diversity did not decrease: %v -> %v", res.Diversity[0], res.Diversity[24])
+	}
+}
+
+func TestPopulationDiversityBounds(t *testing.T) {
+	in := testInstance(t, 28)
+	r := rng.New(1)
+	pop := make([]*schedule.Schedule, 32)
+	for i := range pop {
+		pop[i] = schedule.NewRandom(in, r)
+	}
+	d := PopulationDiversity(pop)
+	if d <= 0.5 || d >= 1 {
+		t.Fatalf("random population diversity %v", d)
+	}
+	for i := 1; i < len(pop); i++ {
+		pop[i].CopyFrom(pop[0])
+	}
+	if got := PopulationDiversity(pop); got != 0 {
+		t.Fatalf("identical population diversity %v", got)
+	}
+	if PopulationDiversity(nil) != 0 {
+		t.Fatal("empty population diversity nonzero")
+	}
+}

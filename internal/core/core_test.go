@@ -1,0 +1,603 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"gridsched/internal/etc"
+	"gridsched/internal/heuristics"
+	"gridsched/internal/operators"
+	"gridsched/internal/rng"
+	"gridsched/internal/schedule"
+	"gridsched/internal/topology"
+)
+
+// rngForTest builds a deterministic RNG stream for direct population
+// construction in white-box tests.
+func rngForTest(seed uint64) *rng.Rand { return rng.New(seed) }
+
+func testInstance(t testing.TB, seed uint64) *etc.Instance {
+	t.Helper()
+	in, err := etc.Generate(etc.GenSpec{
+		Class: etc.Class{Consistency: etc.Inconsistent, TaskHet: etc.High, MachineHet: etc.High},
+		Tasks: 128, Machines: 16, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// smallParams returns a fast evaluation-bounded configuration on an 8x8
+// grid for unit testing.
+func smallParams(threads int, seed uint64) Params {
+	p := DefaultParams()
+	p.GridW, p.GridH = 8, 8
+	p.Threads = threads
+	p.Seed = seed
+	p.MaxEvaluations = 3000
+	p.Local = operators.H2LL{Iterations: 5}
+	return p
+}
+
+func TestDefaultParamsMatchTable1(t *testing.T) {
+	p := DefaultParams()
+	if p.GridW != 16 || p.GridH != 16 {
+		t.Fatalf("population %dx%d, want 16x16", p.GridW, p.GridH)
+	}
+	if p.Neighborhood != topology.L5 {
+		t.Fatal("neighborhood not L5")
+	}
+	if p.Selector.Name() != "best2" {
+		t.Fatalf("selection %q, want best2", p.Selector.Name())
+	}
+	if p.CrossProb != 1.0 || p.MutProb != 1.0 || p.LocalProb != 1.0 {
+		t.Fatal("operator probabilities must be 1.0 (Table 1)")
+	}
+	if p.Mutation.Name() != "move" {
+		t.Fatalf("mutation %q, want move", p.Mutation.Name())
+	}
+	if p.Replacement != operators.ReplaceIfBetter {
+		t.Fatal("replacement not replace-if-better")
+	}
+	if p.Sweep != topology.LineSweep {
+		t.Fatal("sweep not line sweep")
+	}
+	if p.Threads < 1 || p.Threads > 4 {
+		t.Fatalf("threads %d outside the paper's 1..4 range", p.Threads)
+	}
+}
+
+func TestRunRequiresStopCondition(t *testing.T) {
+	in := testInstance(t, 1)
+	p := DefaultParams()
+	if _, err := Run(in, p); err == nil {
+		t.Fatal("Run accepted params with no stop condition")
+	}
+}
+
+func TestRunParamValidation(t *testing.T) {
+	in := testInstance(t, 1)
+	bad := []func(*Params){
+		func(p *Params) { p.GridW = -1 },
+		func(p *Params) { p.Threads = -2 },
+		func(p *Params) { p.Threads = 10000 },
+		func(p *Params) { p.CrossProb = 1.5 },
+		func(p *Params) { p.MutProb = -0.1 },
+		func(p *Params) { p.LocalProb = 2 },
+		func(p *Params) { p.LockMode = NoLock; p.Threads = 2 },
+	}
+	for i, mutate := range bad {
+		p := DefaultParams()
+		p.MaxEvaluations = 100
+		mutate(&p)
+		if _, err := Run(in, p); err == nil {
+			t.Fatalf("bad param set %d accepted", i)
+		}
+	}
+}
+
+func TestRunSingleThreadDeterministic(t *testing.T) {
+	in := testInstance(t, 2)
+	p := smallParams(1, 42)
+	a, err := Run(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestFitness != b.BestFitness {
+		t.Fatalf("single-thread runs differ: %v vs %v", a.BestFitness, b.BestFitness)
+	}
+	if a.Best.HammingDistance(b.Best) != 0 {
+		t.Fatal("single-thread runs found different best schedules")
+	}
+	if a.Evaluations != b.Evaluations {
+		t.Fatalf("evaluation counts differ: %d vs %d", a.Evaluations, b.Evaluations)
+	}
+}
+
+func TestRunRespectsEvaluationBudget(t *testing.T) {
+	in := testInstance(t, 3)
+	p := smallParams(1, 1)
+	p.MaxEvaluations = 500
+	res, err := Run(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations < 500-64 || res.Evaluations > 500+64 {
+		t.Fatalf("evaluations %d far from budget 500", res.Evaluations)
+	}
+}
+
+func TestRunRespectsGenerationBudget(t *testing.T) {
+	in := testInstance(t, 4)
+	p := smallParams(2, 1)
+	p.MaxEvaluations = 0
+	p.MaxGenerations = 7
+	res, err := Run(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range res.PerThread {
+		if g != 7 {
+			t.Fatalf("worker %d ran %d generations, want 7", i, g)
+		}
+	}
+	if res.Generations != 14 {
+		t.Fatalf("total generations %d, want 14", res.Generations)
+	}
+}
+
+func TestRunRespectsWallClock(t *testing.T) {
+	in := testInstance(t, 5)
+	p := smallParams(2, 1)
+	p.MaxEvaluations = 0
+	p.MaxDuration = 50 * time.Millisecond
+	start := time.Now()
+	res, err := Run(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// The paper accepts overshoot of one generation; a generation here is
+	// well under 100ms.
+	if elapsed > 2*time.Second {
+		t.Fatalf("run took %v for a 50ms budget", elapsed)
+	}
+	if res.Evaluations <= 64 {
+		t.Fatal("run did no work within the wall budget")
+	}
+}
+
+func TestRunImprovesOverMinMin(t *testing.T) {
+	// The GA must beat its own Min-min seed given some budget — the
+	// paper's whole point is improving over constructive heuristics.
+	in := testInstance(t, 6)
+	mm := heuristics.MinMin(in).Makespan()
+	p := smallParams(1, 7)
+	p.MaxEvaluations = 20000
+	res, err := Run(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness >= mm {
+		t.Fatalf("PA-CGA (%v) failed to improve on Min-min (%v)", res.BestFitness, mm)
+	}
+}
+
+func TestRunBestMatchesSchedule(t *testing.T) {
+	in := testInstance(t, 7)
+	res, err := Run(in, smallParams(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Fatalf("best schedule violates CT invariant: %v", err)
+	}
+	if !res.Best.Complete() {
+		t.Fatal("best schedule incomplete")
+	}
+	if got := res.Best.Makespan(); got != res.BestFitness {
+		t.Fatalf("BestFitness %v but schedule makespan %v", res.BestFitness, got)
+	}
+}
+
+func TestRunMultiThreadedAllLockModes(t *testing.T) {
+	in := testInstance(t, 8)
+	for _, mode := range []LockMode{PerCellRWMutex, PerCellMutex, GlobalMutex} {
+		p := smallParams(4, 11)
+		p.LockMode = mode
+		res, err := Run(in, p)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if err := res.Best.Validate(); err != nil {
+			t.Fatalf("mode %v: corrupt best schedule: %v", mode, err)
+		}
+	}
+}
+
+func TestRunThreadsPartitionPopulation(t *testing.T) {
+	in := testInstance(t, 9)
+	p := smallParams(3, 13)
+	res, err := Run(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerThread) != 3 {
+		t.Fatalf("PerThread has %d entries, want 3", len(res.PerThread))
+	}
+}
+
+func TestRunWithoutMinMinSeed(t *testing.T) {
+	in := testInstance(t, 10)
+	p := smallParams(1, 17)
+	p.DisableMinMinSeed = true
+	res, err := Run(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// With the Min-min seed the very first population already contains
+	// its fitness; without it the initial best should generally be worse.
+	pSeeded := smallParams(1, 17)
+	pSeeded.MaxEvaluations = 70 // barely past initial evaluation (64)
+	p.MaxEvaluations = 70
+	seeded, err := Run(in, pSeeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unseeded, err := Run(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded.BestFitness > unseeded.BestFitness {
+		t.Fatalf("Min-min seeding made the initial population worse: %v vs %v",
+			seeded.BestFitness, unseeded.BestFitness)
+	}
+}
+
+func TestRunConvergenceRecording(t *testing.T) {
+	in := testInstance(t, 11)
+	p := smallParams(2, 19)
+	p.MaxEvaluations = 0
+	p.MaxGenerations = 10
+	p.RecordConvergence = true
+	res, err := Run(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Convergence) != 10 {
+		t.Fatalf("convergence has %d points, want 10", len(res.Convergence))
+	}
+	// Replace-if-better means the population mean must never increase.
+	for g := 1; g < len(res.Convergence); g++ {
+		if res.Convergence[g] > res.Convergence[g-1]+1e-6 {
+			t.Fatalf("population mean increased at generation %d: %v -> %v",
+				g, res.Convergence[g-1], res.Convergence[g])
+		}
+	}
+}
+
+func TestRunMoreEvaluationsIsNotWorse(t *testing.T) {
+	in := testInstance(t, 12)
+	short := smallParams(1, 23)
+	short.MaxEvaluations = 500
+	long := smallParams(1, 23)
+	long.MaxEvaluations = 10000
+	a, err := Run(in, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(in, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.BestFitness > a.BestFitness {
+		t.Fatalf("longer run found worse solution: %v vs %v", b.BestFitness, a.BestFitness)
+	}
+}
+
+func TestRunLocalSearchMovesCounted(t *testing.T) {
+	in := testInstance(t, 13)
+	p := smallParams(1, 29)
+	res, err := Run(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LocalSearchMoves == 0 {
+		t.Fatal("H2LL reported zero improving moves over an entire run")
+	}
+	p.Local = operators.H2LL{Iterations: 0}
+	res0, err := Run(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res0.LocalSearchMoves != 0 {
+		t.Fatal("0-iteration H2LL reported moves")
+	}
+}
+
+func TestRunAllCrossovers(t *testing.T) {
+	in := testInstance(t, 14)
+	for _, cx := range []operators.Crossover{operators.OnePoint{}, operators.TwoPoint{}, operators.Uniform{}} {
+		p := smallParams(2, 31)
+		p.Crossover = cx
+		res, err := Run(in, p)
+		if err != nil {
+			t.Fatalf("%s: %v", cx.Name(), err)
+		}
+		if err := res.Best.Validate(); err != nil {
+			t.Fatalf("%s: %v", cx.Name(), err)
+		}
+	}
+}
+
+func TestRunSweepPolicies(t *testing.T) {
+	in := testInstance(t, 15)
+	for _, sw := range []topology.SweepPolicy{topology.LineSweep, topology.FixedRandomSweep, topology.NewRandomSweep} {
+		p := smallParams(2, 37)
+		p.Sweep = sw
+		if _, err := Run(in, p); err != nil {
+			t.Fatalf("%v: %v", sw, err)
+		}
+	}
+}
+
+// --- Synchronous variant ---
+
+func TestRunSyncBasic(t *testing.T) {
+	in := testInstance(t, 16)
+	p := smallParams(1, 41)
+	res, err := RunSync(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations == 0 || res.Generations == 0 {
+		t.Fatal("sync run did no work")
+	}
+}
+
+func TestRunSyncDeterministic(t *testing.T) {
+	in := testInstance(t, 17)
+	p := smallParams(1, 43)
+	a, _ := RunSync(in, p)
+	b, _ := RunSync(in, p)
+	if a.BestFitness != b.BestFitness || a.Evaluations != b.Evaluations {
+		t.Fatal("sync runs with identical seed differ")
+	}
+}
+
+func TestRunSyncGenerationBudget(t *testing.T) {
+	in := testInstance(t, 18)
+	p := smallParams(1, 47)
+	p.MaxEvaluations = 0
+	p.MaxGenerations = 5
+	res, err := RunSync(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generations != 5 {
+		t.Fatalf("sync ran %d generations, want 5", res.Generations)
+	}
+	// 64 initial + 5 generations of 64 breedings.
+	if res.Evaluations != 64+5*64 {
+		t.Fatalf("sync evaluations %d, want %d", res.Evaluations, 64+5*64)
+	}
+}
+
+func TestRunSyncConvergenceMonotone(t *testing.T) {
+	in := testInstance(t, 19)
+	p := smallParams(1, 53)
+	p.MaxEvaluations = 0
+	p.MaxGenerations = 8
+	p.RecordConvergence = true
+	res, err := RunSync(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Convergence) != 8 {
+		t.Fatalf("convergence %d points, want 8", len(res.Convergence))
+	}
+	for g := 1; g < len(res.Convergence); g++ {
+		if res.Convergence[g] > res.Convergence[g-1]+1e-6 {
+			t.Fatal("sync population mean increased under replace-if-better")
+		}
+	}
+}
+
+func TestAsyncConvergesFasterThanSyncOnGenerations(t *testing.T) {
+	// The literature result the paper cites (§3.1): asynchronous updates
+	// converge the population faster than synchronous ones at equal
+	// generation counts. Compare best fitness after the same number of
+	// generations, averaged over seeds to avoid flakiness.
+	in := testInstance(t, 20)
+	var asyncSum, syncSum float64
+	const seeds = 5
+	for s := uint64(0); s < seeds; s++ {
+		p := smallParams(1, 100+s)
+		p.MaxEvaluations = 0
+		p.MaxGenerations = 30
+		a, err := Run(in, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunSync(in, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asyncSum += a.BestFitness
+		syncSum += b.BestFitness
+	}
+	if asyncSum > syncSum*1.05 {
+		t.Fatalf("async (%v) much worse than sync (%v) at equal generations", asyncSum/seeds, syncSum/seeds)
+	}
+}
+
+func TestAggregateSeriesWeighting(t *testing.T) {
+	blocks := []topology.Block{{Start: 0, End: 3}, {Start: 3, End: 4}}
+	ws := []*worker{
+		{conv: []float64{10, 8}},
+		{conv: []float64{20}},
+	}
+	get := func(w *worker) []float64 { return w.conv }
+	got := aggregateSeries(ws, blocks, get)
+	if len(got) != 2 {
+		t.Fatalf("series length %d", len(got))
+	}
+	// g0: (10*3 + 20*1)/4 = 12.5; g1: worker1 finished, reuse 20: (8*3+20)/4 = 11.
+	if got[0] != 12.5 || got[1] != 11 {
+		t.Fatalf("aggregate = %v, want [12.5 11]", got)
+	}
+	if aggregateSeries([]*worker{{}, {}}, blocks, get) != nil {
+		t.Fatal("empty convergence should aggregate to nil")
+	}
+}
+
+func TestRunDiversityRecording(t *testing.T) {
+	in := testInstance(t, 25)
+	p := smallParams(2, 61)
+	p.MaxEvaluations = 0
+	p.MaxGenerations = 12
+	p.RecordDiversity = true
+	res, err := Run(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diversity) != 12 {
+		t.Fatalf("diversity has %d points, want 12", len(res.Diversity))
+	}
+	for g, d := range res.Diversity {
+		if d < 0 || d > 1 {
+			t.Fatalf("diversity[%d] = %v outside [0,1]", g, d)
+		}
+	}
+	// The first sample is taken after one full generation, so selection
+	// has already eroded the random population's near-uniform diversity
+	// (bound 1 - 1/machines ≈ 0.94); it must still be clearly nonzero,
+	// and must keep decreasing as the population converges.
+	if res.Diversity[0] < 0.1 {
+		t.Fatalf("diversity after one generation %v implausibly low", res.Diversity[0])
+	}
+	if last := res.Diversity[len(res.Diversity)-1]; last >= res.Diversity[0] {
+		t.Fatalf("diversity did not decrease: %v -> %v", res.Diversity[0], last)
+	}
+}
+
+func TestRunSyncDiversityRecording(t *testing.T) {
+	in := testInstance(t, 26)
+	p := smallParams(1, 67)
+	p.MaxEvaluations = 0
+	p.MaxGenerations = 6
+	p.RecordDiversity = true
+	res, err := RunSync(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diversity) != 6 {
+		t.Fatalf("diversity points %d", len(res.Diversity))
+	}
+	if res.Diversity[5] >= res.Diversity[0] {
+		t.Fatal("sync diversity did not decrease")
+	}
+}
+
+func TestBlockDiversityBounds(t *testing.T) {
+	in := testInstance(t, 27)
+	pop := newPopulation(in, 16, rngForTest(1), false, NoLock, func(s *schedule.Schedule) float64 { return s.Makespan() })
+	_, d := pop.blockDiversity(0, 16, nil)
+	if d <= 0 || d >= 1 {
+		t.Fatalf("random population diversity %v", d)
+	}
+	// Make all individuals identical: diversity 0.
+	for i := 1; i < 16; i++ {
+		pop.cells[i].s.CopyFrom(pop.cells[0].s)
+		pop.cells[i].fit = pop.cells[0].fit
+	}
+	if _, d := pop.blockDiversity(0, 16, nil); d != 0 {
+		t.Fatalf("identical population diversity %v, want 0", d)
+	}
+	if _, d := pop.blockDiversity(3, 3, nil); d != 0 {
+		t.Fatalf("empty block diversity %v", d)
+	}
+}
+
+func TestFlowtimeWeightValidation(t *testing.T) {
+	in := testInstance(t, 28)
+	p := smallParams(1, 71)
+	p.FlowtimeWeight = 1.5
+	if _, err := Run(in, p); err == nil {
+		t.Fatal("FlowtimeWeight > 1 accepted")
+	}
+	p.FlowtimeWeight = -0.1
+	if _, err := Run(in, p); err == nil {
+		t.Fatal("negative FlowtimeWeight accepted")
+	}
+}
+
+func TestFlowtimeObjectiveOptimizesFlowtime(t *testing.T) {
+	// Pure flowtime weight must yield schedules with flowtime no worse
+	// than the makespan-only objective produces, averaged over seeds.
+	// The local search still chases makespan, so disable it to keep the
+	// comparison about the objective.
+	in := testInstance(t, 29)
+	var ftMakespanObj, ftFlowtimeObj float64
+	const seeds = 4
+	for s := uint64(0); s < seeds; s++ {
+		base := smallParams(1, 200+s)
+		base.LocalProb = 0
+		base.MaxEvaluations = 6000
+		resM, err := Run(in, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withFT := base
+		withFT.FlowtimeWeight = 1
+		resF, err := Run(in, withFT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ftMakespanObj += resM.Best.Flowtime()
+		ftFlowtimeObj += resF.Best.Flowtime()
+	}
+	if ftFlowtimeObj > ftMakespanObj {
+		t.Fatalf("flowtime objective produced worse flowtime: %v vs %v",
+			ftFlowtimeObj/seeds, ftMakespanObj/seeds)
+	}
+}
+
+func TestFlowtimeObjectiveFitnessSemantics(t *testing.T) {
+	in := testInstance(t, 30)
+	p := smallParams(1, 73)
+	p.FlowtimeWeight = 0.5
+	res, err := Run(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5*res.Best.Makespan() + 0.5*res.Best.Flowtime()/float64(in.T)
+	if diff := res.BestFitness - want; diff > 1e-6*want || diff < -1e-6*want {
+		t.Fatalf("BestFitness %v, want weighted objective %v", res.BestFitness, want)
+	}
+}
+
+func TestLockModeString(t *testing.T) {
+	names := map[LockMode]string{
+		PerCellRWMutex: "rwmutex",
+		PerCellMutex:   "mutex",
+		GlobalMutex:    "global",
+		NoLock:         "none",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Fatalf("LockMode %d string %q, want %q", int(m), m.String(), want)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridsched/internal/etc"
+	"gridsched/internal/operators"
+	"gridsched/internal/rng"
+	"gridsched/internal/schedule"
+	"gridsched/internal/topology"
+)
+
+// Result reports the outcome of a PA-CGA (or synchronous CGA) run.
+type Result struct {
+	// Best is a clone of the best schedule found; BestFitness is its
+	// makespan.
+	Best        *schedule.Schedule
+	BestFitness float64
+	// Evaluations counts fitness evaluations, including the initial
+	// population — the paper's speedup currency (Eq. 5).
+	Evaluations int64
+	// Generations is the total number of block sweeps summed over
+	// workers; PerThread holds the per-worker counts, which differ in
+	// the asynchronous model when breeding loops take unequal time.
+	Generations int64
+	PerThread   []int64
+	// LocalSearchMoves counts improving moves made by the local search.
+	LocalSearchMoves int64
+	// Duration is the measured wall time of the evolution phase.
+	Duration time.Duration
+	// Convergence, when recording was requested, holds the mean
+	// population makespan at each generation index (Fig. 6): entry g
+	// averages every block's mean at its own generation g, weighted by
+	// block size, falling back to a block's final value once that worker
+	// has stopped.
+	Convergence []float64
+	// Diversity, when requested, holds the mean per-task Simpson
+	// diversity of the whole population, sampled by the first worker at
+	// its generation boundaries (per-block diversity would under-report:
+	// blocks deliberately niche into different search-space regions).
+	Diversity []float64
+}
+
+// Run executes PA-CGA (Algorithms 2–3) on the instance and returns the
+// result. It spawns Params.Threads worker goroutines, each evolving its
+// contiguous population block asynchronously until a stop condition
+// fires.
+func Run(inst *etc.Instance, p Params) (*Result, error) {
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	grid, err := topology.NewGrid(p.GridW, p.GridH)
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := topology.Partition(grid.Size(), p.Threads)
+	if err != nil {
+		return nil, err
+	}
+
+	root := rng.New(p.Seed)
+	initRNG := root.Split(0)
+	pop := newPopulation(inst, grid.Size(), initRNG, !p.DisableMinMinSeed, p.LockMode, p.fitness)
+
+	var evals atomic.Int64
+	evals.Store(int64(pop.size())) // initial_evaluation of Algorithm 2
+	var lsMoves atomic.Int64
+
+	t0 := time.Now()
+	var deadline time.Time
+	if p.MaxDuration > 0 {
+		deadline = t0.Add(p.MaxDuration)
+	}
+
+	workers := make([]*worker, p.Threads)
+	for i := range workers {
+		workers[i] = &worker{
+			id:       i,
+			block:    blocks[i],
+			grid:     grid,
+			pop:      pop,
+			params:   &p,
+			r:        root.Split(uint64(i) + 1),
+			evals:    &evals,
+			lsMoves:  &lsMoves,
+			deadline: deadline,
+			p1:       schedule.New(inst),
+			p2:       schedule.New(inst),
+			child:    schedule.New(inst),
+			neigh:    make([]int, 0, p.Neighborhood.Size()),
+			cands:    make([]operators.Candidate, 0, p.Neighborhood.Size()),
+		}
+		workers[i].sweeper = topology.NewSweeper(p.Sweep, blocks[i], workers[i].r.Split(0))
+	}
+
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.evolve()
+		}(w)
+	}
+	wg.Wait()
+
+	res := &Result{
+		Evaluations:      evals.Load(),
+		LocalSearchMoves: lsMoves.Load(),
+		Duration:         time.Since(t0),
+		PerThread:        make([]int64, len(workers)),
+	}
+	for i, w := range workers {
+		res.PerThread[i] = w.gens
+		res.Generations += w.gens
+	}
+	res.Best, res.BestFitness = pop.best()
+	if p.RecordConvergence {
+		res.Convergence = aggregateSeries(workers, blocks, func(w *worker) []float64 { return w.conv })
+	}
+	if p.RecordDiversity {
+		res.Diversity = append([]float64(nil), workers[0].div...)
+	}
+	return res, nil
+}
+
+// worker owns one population block, its RNG stream and its reusable
+// breeding workspaces; it implements Algorithm 3.
+type worker struct {
+	id       int
+	block    topology.Block
+	grid     topology.Grid
+	pop      *population
+	params   *Params
+	r        *rng.Rand
+	sweeper  *topology.Sweeper
+	evals    *atomic.Int64
+	lsMoves  *atomic.Int64
+	deadline time.Time
+
+	p1, p2, child *schedule.Schedule
+	neigh         []int
+	cands         []operators.Candidate
+
+	gens     int64
+	conv     []float64
+	div      []float64
+	divCount []int
+}
+
+// evolve runs block sweeps until a stop condition fires. Matching the
+// paper, the wall-clock condition is checked once per sweep (§3.2
+// explicitly accepts the overshoot); the evaluation budget is checked
+// per breeding step so tests can rely on tight budgets.
+func (w *worker) evolve() {
+	p := w.params
+	for {
+		if !w.deadline.IsZero() && !time.Now().Before(w.deadline) {
+			return
+		}
+		if p.MaxGenerations > 0 && w.gens >= p.MaxGenerations {
+			return
+		}
+		for _, cell := range w.sweeper.Order() {
+			if p.MaxEvaluations > 0 && w.evals.Load() >= p.MaxEvaluations {
+				return
+			}
+			w.evolveCell(cell)
+		}
+		w.gens++
+		if p.RecordConvergence {
+			w.conv = append(w.conv, w.pop.meanFitnessRange(w.block.Start, w.block.End))
+		}
+		// Diversity must be measured over the whole population: blocks
+		// niche into different regions (that is the point of the
+		// partition), so per-block diversity would under-report. Worker
+		// 0 samples the global population at its own generation
+		// boundaries, reading other blocks under their read locks.
+		if p.RecordDiversity && w.id == 0 {
+			var d float64
+			w.divCount, d = w.pop.blockDiversity(0, w.pop.size(), w.divCount)
+			w.div = append(w.div, d)
+		}
+	}
+}
+
+// evolveCell performs one breeding loop iteration (Algorithm 3 lines
+// 3–9) on the given cell.
+func (w *worker) evolveCell(cell int) {
+	p := w.params
+
+	// get_neighborhood: cells whose individuals may mate with this one.
+	// The neighborhood may cross block boundaries; those reads are what
+	// the per-individual locks protect.
+	w.neigh = p.Neighborhood.Neighbors(w.grid, cell, w.neigh)
+
+	// select: fitness reads under read locks, then the chosen parents
+	// are snapshotted (copied out) so crossover never touches shared
+	// memory.
+	w.cands = w.cands[:0]
+	for _, c := range w.neigh {
+		w.cands = append(w.cands, operators.Candidate{Cell: c, Fitness: w.pop.fitness(c)})
+	}
+	i1, i2 := p.Selector.Select(w.cands, w.r)
+	w.pop.snapshotInto(w.cands[i1].Cell, w.p1)
+	if i2 == i1 {
+		w.p2.CopyFrom(w.p1)
+	} else {
+		w.pop.snapshotInto(w.cands[i2].Cell, w.p2)
+	}
+
+	// recombine with probability p_comb, otherwise the offspring starts
+	// as a copy of the first parent.
+	if w.r.Bool(p.CrossProb) {
+		p.Crossover.Cross(w.child, w.p1, w.p2, w.r)
+	} else {
+		w.child.CopyFrom(w.p1)
+	}
+
+	// mutate with probability p_mut.
+	if w.r.Bool(p.MutProb) {
+		p.Mutation.Mutate(w.child, w.r)
+	}
+
+	// local search (H2LL) with probability p_ser.
+	if p.LocalProb > 0 && w.r.Bool(p.LocalProb) {
+		if moves := p.Local.Apply(w.child, w.r); moves > 0 {
+			w.lsMoves.Add(int64(moves))
+		}
+	}
+
+	// evaluate: with the default makespan objective this is a scan of
+	// the machine vector, thanks to incremental completion times.
+	fit := p.fitness(w.child)
+	w.evals.Add(1)
+
+	// replace: install into the current cell under the write lock if the
+	// policy accepts.
+	w.pop.replaceIf(cell, p.Replacement, w.child, fit)
+}
+
+// aggregateSeries merges per-worker generation series into a
+// population-wide mean per generation index. Blocks weigh by their size;
+// a worker that stopped before generation g contributes its final value,
+// so the series stays a population mean rather than drifting toward the
+// surviving blocks.
+func aggregateSeries(workers []*worker, blocks []topology.Block, get func(*worker) []float64) []float64 {
+	maxLen := 0
+	for _, w := range workers {
+		if n := len(get(w)); n > maxLen {
+			maxLen = n
+		}
+	}
+	if maxLen == 0 {
+		return nil
+	}
+	out := make([]float64, maxLen)
+	total := 0
+	for _, b := range blocks {
+		total += b.Len()
+	}
+	for g := 0; g < maxLen; g++ {
+		sum := 0.0
+		for i, w := range workers {
+			series := get(w)
+			var v float64
+			switch {
+			case len(series) == 0:
+				continue
+			case g < len(series):
+				v = series[g]
+			default:
+				v = series[len(series)-1]
+			}
+			sum += v * float64(blocks[i].Len())
+		}
+		out[g] = sum / float64(total)
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+// Package core implements the paper's contribution: PA-CGA, a parallel
+// asynchronous cellular genetic algorithm for multi-core processors
+// (§3.2), applied to ETC-model batch scheduling.
+//
+// The population lives on a 2-D toroidal grid and is partitioned into
+// contiguous row-major blocks, one per worker goroutine. Workers evolve
+// their blocks independently — no generation barrier — and neighborhoods
+// crossing block boundaries are the only communication. Shared access is
+// synchronized with one read-write lock per individual, mirroring the
+// paper's POSIX rwlocks. A synchronous single-threaded cellular GA is
+// included for the async-vs-sync ablation and as the substrate of the
+// cMA baseline.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"gridsched/internal/operators"
+	"gridsched/internal/schedule"
+	"gridsched/internal/topology"
+)
+
+// LockMode selects the synchronization strategy guarding individuals.
+// The paper uses read-write locks; the other modes exist for the locking
+// ablation benchmark (DESIGN.md §4.2).
+type LockMode int
+
+const (
+	// PerCellRWMutex is the paper's scheme: one sync.RWMutex per
+	// individual, shared reads, exclusive writes.
+	PerCellRWMutex LockMode = iota
+	// PerCellMutex degrades reads to exclusive: one plain mutex per
+	// individual.
+	PerCellMutex
+	// GlobalMutex serializes every individual access behind a single
+	// population-wide mutex.
+	GlobalMutex
+	// NoLock disables locking entirely. Only valid with one thread.
+	NoLock
+)
+
+// String implements fmt.Stringer.
+func (m LockMode) String() string {
+	switch m {
+	case PerCellRWMutex:
+		return "rwmutex"
+	case PerCellMutex:
+		return "mutex"
+	case GlobalMutex:
+		return "global"
+	case NoLock:
+		return "none"
+	default:
+		return fmt.Sprintf("LockMode(%d)", int(m))
+	}
+}
+
+// Params collects every knob of PA-CGA. DefaultParams returns the paper's
+// Table 1 configuration; zero values for the interface-typed operators
+// are filled with the Table 1 defaults by Run.
+type Params struct {
+	// GridW, GridH are the population mesh dimensions (Table 1: 16×16).
+	GridW, GridH int
+	// Neighborhood is the mating neighborhood (Table 1: L5, chosen to
+	// reduce concurrent memory access).
+	Neighborhood topology.Neighborhood
+	// Selector picks the two parents among the neighborhood (Table 1:
+	// best 2).
+	Selector operators.Selector
+	// Crossover recombines the parents (Table 1 evaluates opx and tpx;
+	// tpx wins §4.2 and is the default).
+	Crossover operators.Crossover
+	// CrossProb is p_comb (Table 1: 1.0).
+	CrossProb float64
+	// Mutation perturbs the offspring (Table 1: move).
+	Mutation operators.Mutation
+	// MutProb is p_mut (Table 1: 1.0).
+	MutProb float64
+	// Local is the local search applied to the offspring (Table 1: H2LL
+	// with 5 or 10 iterations; 10 wins §4.2 and is the default).
+	Local operators.LocalSearch
+	// LocalProb is p_ser (Table 1: 1.0).
+	LocalProb float64
+	// Replacement installs the offspring (Table 1: replace if better).
+	Replacement operators.Replacement
+	// Threads is the number of population blocks / worker goroutines
+	// (Table 1: 1–4; §4.2 finds 3 best and we default to 3).
+	Threads int
+	// Sweep is the per-block cell visiting order (Table 1: fixed line
+	// sweep per block).
+	Sweep topology.SweepPolicy
+	// Seed drives every random decision; fixed seed + evaluation budget
+	// + one thread ⇒ bit-reproducible runs.
+	Seed uint64
+	// DisableMinMinSeed turns off the Min-min individual in the initial
+	// population (Table 1 seeds exactly one).
+	DisableMinMinSeed bool
+	// Stop conditions; at least one must be set. They compose: the run
+	// stops at whichever triggers first.
+	//
+	// MaxDuration is the paper's wall-clock budget (90 s in Table 1).
+	// Like the paper, workers check it once per block sweep, so runs may
+	// overshoot by one generation (§3.2 accepts the same approximation).
+	MaxDuration time.Duration
+	// MaxGenerations bounds each worker's generation count.
+	MaxGenerations int64
+	// MaxEvaluations bounds the total number of fitness evaluations
+	// across all workers (checked per breeding step).
+	MaxEvaluations int64
+	// RecordConvergence enables per-generation sampling of the mean
+	// block makespan, aggregated into Result.Convergence (Fig. 6).
+	RecordConvergence bool
+	// RecordDiversity enables per-generation sampling of genotypic
+	// population diversity (mean per-task Simpson index: 1 − Σ p_m²,
+	// where p_m is the fraction of individuals assigning the task to
+	// machine m). Diversity preservation is the cellular GA's raison
+	// d'être (§3.1); the series quantifies it.
+	RecordDiversity bool
+	// LockMode selects the synchronization ablation variant; the zero
+	// value is the paper's per-individual RW lock.
+	LockMode LockMode
+	// FlowtimeWeight extends the paper's single-objective fitness
+	// (§2.2, makespan only — the zero value) to the weighted sum
+	//
+	//	(1−w)·makespan + w·flowtime/tasks
+	//
+	// used by the authors' follow-up work on makespan+flowtime
+	// optimization. Flowtime is normalized by the task count so both
+	// terms live on the completion-time scale. Note the H2LL local
+	// search still targets makespan regardless of the weight — it moves
+	// load off the makespan machine — so large weights pair best with a
+	// lower LocalProb. Must lie in [0, 1].
+	FlowtimeWeight float64
+}
+
+// fitness evaluates a schedule under the configured objective.
+func (p *Params) fitness(s *schedule.Schedule) float64 {
+	if p.FlowtimeWeight <= 0 {
+		return s.Makespan()
+	}
+	w := p.FlowtimeWeight
+	return (1-w)*s.Makespan() + w*s.Flowtime()/float64(s.Inst.T)
+}
+
+// DefaultParams returns the Table 1 parameterization with the §4.2
+// winning choices (tpx, 10 H2LL iterations, 3 threads).
+func DefaultParams() Params {
+	return Params{
+		GridW:        16,
+		GridH:        16,
+		Neighborhood: topology.L5,
+		Selector:     operators.BestTwo{},
+		Crossover:    operators.TwoPoint{},
+		CrossProb:    1.0,
+		Mutation:     operators.Move{},
+		MutProb:      1.0,
+		Local:        operators.H2LL{Iterations: 10},
+		LocalProb:    1.0,
+		Replacement:  operators.ReplaceIfBetter,
+		Threads:      3,
+		Sweep:        topology.LineSweep,
+		Seed:         1,
+	}
+}
+
+// withDefaults fills nil operator fields from DefaultParams.
+func (p Params) withDefaults() Params {
+	def := DefaultParams()
+	if p.GridW == 0 && p.GridH == 0 {
+		p.GridW, p.GridH = def.GridW, def.GridH
+	}
+	if p.Selector == nil {
+		p.Selector = def.Selector
+	}
+	if p.Crossover == nil {
+		p.Crossover = def.Crossover
+	}
+	if p.Mutation == nil {
+		p.Mutation = def.Mutation
+	}
+	if p.Local == nil {
+		p.Local = def.Local
+	}
+	if p.Threads == 0 {
+		p.Threads = def.Threads
+	}
+	return p
+}
+
+// validate rejects inconsistent parameter sets.
+func (p Params) validate() error {
+	if p.GridW <= 0 || p.GridH <= 0 {
+		return fmt.Errorf("core: invalid grid %dx%d", p.GridW, p.GridH)
+	}
+	if p.Threads <= 0 {
+		return fmt.Errorf("core: invalid thread count %d", p.Threads)
+	}
+	if p.Threads > p.GridW*p.GridH {
+		return fmt.Errorf("core: %d threads exceed population %d", p.Threads, p.GridW*p.GridH)
+	}
+	for _, prob := range []struct {
+		name string
+		v    float64
+	}{{"CrossProb", p.CrossProb}, {"MutProb", p.MutProb}, {"LocalProb", p.LocalProb}} {
+		if prob.v < 0 || prob.v > 1 {
+			return fmt.Errorf("core: %s = %v outside [0,1]", prob.name, prob.v)
+		}
+	}
+	if p.MaxDuration <= 0 && p.MaxGenerations <= 0 && p.MaxEvaluations <= 0 {
+		return fmt.Errorf("core: no stop condition set (need MaxDuration, MaxGenerations or MaxEvaluations)")
+	}
+	if p.FlowtimeWeight < 0 || p.FlowtimeWeight > 1 {
+		return fmt.Errorf("core: FlowtimeWeight = %v outside [0,1]", p.FlowtimeWeight)
+	}
+	if p.LockMode == NoLock && p.Threads > 1 {
+		return fmt.Errorf("core: LockMode NoLock requires a single thread")
+	}
+	return nil
+}

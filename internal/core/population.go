@@ -1,0 +1,203 @@
+package core
+
+import (
+	"sync"
+
+	"gridsched/internal/etc"
+	"gridsched/internal/heuristics"
+	"gridsched/internal/rng"
+	"gridsched/internal/schedule"
+)
+
+// individual is one population cell: a schedule, its cached fitness
+// (makespan), and the read-write lock that makes cross-block neighborhood
+// reads safe while another worker replaces the cell (§3.2).
+type individual struct {
+	mu  sync.RWMutex
+	s   *schedule.Schedule
+	fit float64
+}
+
+// population is the shared 2-D population storage with pluggable locking.
+type population struct {
+	cells []individual
+	mode  LockMode
+	// global backs the GlobalMutex ablation mode.
+	global sync.Mutex
+}
+
+// newPopulation initializes size individuals on inst: all random except,
+// unless disabled, cell 0 which receives the Min-min schedule (Table 1
+// seeds exactly one individual with Min-min). This covers both
+// setup_pop and initial_evaluation of Algorithm 2: fitness is computed
+// on creation with the engine's objective function.
+func newPopulation(inst *etc.Instance, size int, r *rng.Rand, seedMinMin bool, mode LockMode, eval func(*schedule.Schedule) float64) *population {
+	p := &population{cells: make([]individual, size), mode: mode}
+	for i := range p.cells {
+		var s *schedule.Schedule
+		if i == 0 && seedMinMin {
+			s = heuristics.MinMin(inst)
+		} else {
+			s = schedule.NewRandom(inst, r)
+		}
+		p.cells[i].s = s
+		p.cells[i].fit = eval(s)
+	}
+	return p
+}
+
+func (p *population) size() int { return len(p.cells) }
+
+// rlock acquires read access to cell i under the configured mode.
+func (p *population) rlock(i int) {
+	switch p.mode {
+	case PerCellRWMutex:
+		p.cells[i].mu.RLock()
+	case PerCellMutex:
+		p.cells[i].mu.Lock()
+	case GlobalMutex:
+		p.global.Lock()
+	case NoLock:
+	}
+}
+
+func (p *population) runlock(i int) {
+	switch p.mode {
+	case PerCellRWMutex:
+		p.cells[i].mu.RUnlock()
+	case PerCellMutex:
+		p.cells[i].mu.Unlock()
+	case GlobalMutex:
+		p.global.Unlock()
+	case NoLock:
+	}
+}
+
+// lock acquires write access to cell i under the configured mode.
+func (p *population) lock(i int) {
+	switch p.mode {
+	case PerCellRWMutex, PerCellMutex:
+		p.cells[i].mu.Lock()
+	case GlobalMutex:
+		p.global.Lock()
+	case NoLock:
+	}
+}
+
+func (p *population) unlock(i int) {
+	switch p.mode {
+	case PerCellRWMutex, PerCellMutex:
+		p.cells[i].mu.Unlock()
+	case GlobalMutex:
+		p.global.Unlock()
+	case NoLock:
+	}
+}
+
+// fitness returns cell i's cached makespan under a read lock. This is
+// the non-atomic read the paper protects during selection.
+func (p *population) fitness(i int) float64 {
+	p.rlock(i)
+	f := p.cells[i].fit
+	p.runlock(i)
+	return f
+}
+
+// snapshotInto copies cell i's genome and completion times into dst under
+// a read lock, returning the fitness consistent with the copy. This is
+// the protected parent read of the recombination step.
+func (p *population) snapshotInto(i int, dst *schedule.Schedule) float64 {
+	p.rlock(i)
+	dst.CopyFrom(p.cells[i].s)
+	f := p.cells[i].fit
+	p.runlock(i)
+	return f
+}
+
+// replaceIf installs cand (with fitness candFit) into cell i if the
+// replacement policy accepts it against the cell's current fitness, under
+// a write lock. It returns whether the replacement happened. The
+// comparison re-reads the current fitness inside the critical section, so
+// a concurrent improvement cannot be stomped by a stale offspring.
+func (p *population) replaceIf(i int, policy interface{ Accepts(cur, off float64) bool }, cand *schedule.Schedule, candFit float64) bool {
+	p.lock(i)
+	ok := policy.Accepts(p.cells[i].fit, candFit)
+	if ok {
+		p.cells[i].s.CopyFrom(cand)
+		p.cells[i].fit = candFit
+	}
+	p.unlock(i)
+	return ok
+}
+
+// meanFitnessRange averages the fitness of cells [start, end) under read
+// locks; used by the convergence recorder (Fig. 6).
+func (p *population) meanFitnessRange(start, end int) float64 {
+	sum := 0.0
+	for i := start; i < end; i++ {
+		sum += p.fitness(i)
+	}
+	return sum / float64(end-start)
+}
+
+// blockDiversity measures the genotypic diversity of cells [start, end)
+// as the mean over tasks of the Simpson index 1 − Σ_m p_m², where p_m is
+// the fraction of the block assigning the task to machine m. It is 0
+// when all individuals are identical and approaches 1 − 1/machines for a
+// uniformly random block. counts is reusable scratch of len ≥
+// tasks×machines (it is grown when too small); each cell is locked once.
+func (p *population) blockDiversity(start, end int, counts []int) ([]int, float64) {
+	n := end - start
+	if n <= 0 {
+		return counts, 0
+	}
+	tasks := len(p.cells[start].s.S)
+	machines := len(p.cells[start].s.CT)
+	if cap(counts) < tasks*machines {
+		counts = make([]int, tasks*machines)
+	}
+	counts = counts[:tasks*machines]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i := start; i < end; i++ {
+		p.rlock(i)
+		for t, m := range p.cells[i].s.S {
+			if m >= 0 {
+				counts[t*machines+m]++
+			}
+		}
+		p.runlock(i)
+	}
+	total := 0.0
+	inv := 1 / float64(n)
+	for t := 0; t < tasks; t++ {
+		sumSq := 0.0
+		for _, c := range counts[t*machines : (t+1)*machines] {
+			f := float64(c) * inv
+			sumSq += f * f
+		}
+		total += 1 - sumSq
+	}
+	return counts, total / float64(tasks)
+}
+
+// best scans the population and returns a clone of the best individual
+// and its fitness. Called once after the workers join.
+func (p *population) best() (*schedule.Schedule, float64) {
+	bestIdx := 0
+	p.rlock(0)
+	bestFit := p.cells[0].fit
+	p.runlock(0)
+	for i := 1; i < len(p.cells); i++ {
+		f := p.fitness(i)
+		if f < bestFit {
+			bestIdx, bestFit = i, f
+		}
+	}
+	p.rlock(bestIdx)
+	clone := p.cells[bestIdx].s.Clone()
+	fit := p.cells[bestIdx].fit
+	p.runlock(bestIdx)
+	return clone, fit
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"time"
+
+	"gridsched/internal/etc"
+	"gridsched/internal/operators"
+	"gridsched/internal/rng"
+	"gridsched/internal/schedule"
+	"gridsched/internal/topology"
+)
+
+// RunSync executes the synchronous cellular GA model of §3.1: every
+// generation, all offspring are produced against the current population
+// and placed in an auxiliary population, which then replaces the current
+// one at once. It is single-threaded (Params.Threads and LockMode are
+// ignored) and serves as the async-vs-sync ablation and as the substrate
+// for the cellular memetic baseline.
+func RunSync(inst *etc.Instance, p Params) (*Result, error) {
+	p = p.withDefaults()
+	p.Threads = 1
+	p.LockMode = NoLock
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	grid, err := topology.NewGrid(p.GridW, p.GridH)
+	if err != nil {
+		return nil, err
+	}
+
+	root := rng.New(p.Seed)
+	initRNG := root.Split(0)
+	pop := newPopulation(inst, grid.Size(), initRNG, !p.DisableMinMinSeed, NoLock, p.fitness)
+	r := root.Split(1)
+
+	// Auxiliary generation buffer: offspring and their fitness.
+	aux := make([]*schedule.Schedule, grid.Size())
+	auxFit := make([]float64, grid.Size())
+	accepted := make([]bool, grid.Size())
+	for i := range aux {
+		aux[i] = schedule.New(inst)
+	}
+	p1 := schedule.New(inst)
+	p2 := schedule.New(inst)
+	neigh := make([]int, 0, p.Neighborhood.Size())
+	cands := make([]operators.Candidate, 0, p.Neighborhood.Size())
+
+	evals := int64(pop.size())
+	var lsMoves int64
+	var gens int64
+	var conv, div []float64
+	var divCount []int
+
+	t0 := time.Now()
+	var deadline time.Time
+	if p.MaxDuration > 0 {
+		deadline = t0.Add(p.MaxDuration)
+	}
+
+	budgetLeft := func() bool {
+		return p.MaxEvaluations <= 0 || evals < p.MaxEvaluations
+	}
+
+loop:
+	for {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			break
+		}
+		if p.MaxGenerations > 0 && gens >= p.MaxGenerations {
+			break
+		}
+		for cell := 0; cell < grid.Size(); cell++ {
+			if !budgetLeft() {
+				// Install the offspring bred so far in this generation,
+				// then stop: a partially-swept synchronous generation
+				// must not leave stale aux entries behind.
+				for c := 0; c < cell; c++ {
+					if accepted[c] {
+						pop.cells[c].s.CopyFrom(aux[c])
+						pop.cells[c].fit = auxFit[c]
+					}
+				}
+				break loop
+			}
+			neigh = p.Neighborhood.Neighbors(grid, cell, neigh)
+			cands = cands[:0]
+			for _, c := range neigh {
+				cands = append(cands, operators.Candidate{Cell: c, Fitness: pop.cells[c].fit})
+			}
+			i1, i2 := p.Selector.Select(cands, r)
+			p1.CopyFrom(pop.cells[cands[i1].Cell].s)
+			if i2 == i1 {
+				p2.CopyFrom(p1)
+			} else {
+				p2.CopyFrom(pop.cells[cands[i2].Cell].s)
+			}
+			if r.Bool(p.CrossProb) {
+				p.Crossover.Cross(aux[cell], p1, p2, r)
+			} else {
+				aux[cell].CopyFrom(p1)
+			}
+			if r.Bool(p.MutProb) {
+				p.Mutation.Mutate(aux[cell], r)
+			}
+			if p.LocalProb > 0 && r.Bool(p.LocalProb) {
+				lsMoves += int64(p.Local.Apply(aux[cell], r))
+			}
+			auxFit[cell] = p.fitness(aux[cell])
+			evals++
+			accepted[cell] = p.Replacement.Accepts(pop.cells[cell].fit, auxFit[cell])
+		}
+		// Synchronous replacement: the whole generation installs at once.
+		for cell := 0; cell < grid.Size(); cell++ {
+			if accepted[cell] {
+				pop.cells[cell].s.CopyFrom(aux[cell])
+				pop.cells[cell].fit = auxFit[cell]
+			}
+		}
+		gens++
+		if p.RecordConvergence {
+			conv = append(conv, pop.meanFitnessRange(0, pop.size()))
+		}
+		if p.RecordDiversity {
+			var d float64
+			divCount, d = pop.blockDiversity(0, pop.size(), divCount)
+			div = append(div, d)
+		}
+	}
+
+	res := &Result{
+		Evaluations:      evals,
+		LocalSearchMoves: lsMoves,
+		Duration:         time.Since(t0),
+		Generations:      gens,
+		PerThread:        []int64{gens},
+		Convergence:      conv,
+		Diversity:        div,
+	}
+	res.Best, res.BestFitness = pop.best()
+	return res, nil
+}

@@ -1,0 +1,135 @@
+package etc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metrics summarizes the statistical character of an ETC matrix: the
+// quantities the Braun/Ali classification controls (task heterogeneity,
+// machine heterogeneity, consistency) measured back from the data. They
+// let users check that a generated or imported instance really belongs
+// to its nominal class, and they power `etcgen -inspect`.
+type Metrics struct {
+	// MeanETC and StdETC summarize all matrix entries.
+	MeanETC, StdETC float64
+	// TaskHeterogeneity is the coefficient of variation of mean task
+	// ETCs (how different task sizes are from each other).
+	TaskHeterogeneity float64
+	// MachineHeterogeneity is the mean over tasks of the per-row
+	// coefficient of variation (how differently machines treat one
+	// task).
+	MachineHeterogeneity float64
+	// ConsistencyIndex is the fraction of machine pairs (a, b) whose
+	// order is the same for every task: 1.0 for consistent matrices,
+	// ~0 for inconsistent ones, intermediate for semi-consistent.
+	ConsistencyIndex float64
+	// IdealMakespan is the load-balance lower bound assuming every task
+	// runs at its per-task minimum ETC and load splits perfectly:
+	// Σ_t min_m ETC(t,m) / machines. No schedule can beat it.
+	IdealMakespan float64
+}
+
+// ComputeMetrics measures the instance.
+func ComputeMetrics(in *Instance) Metrics {
+	var m Metrics
+	n := float64(len(in.Row))
+
+	sum, sumSq := 0.0, 0.0
+	for _, v := range in.Row {
+		sum += v
+		sumSq += v * v
+	}
+	m.MeanETC = sum / n
+	m.StdETC = math.Sqrt(math.Max(0, sumSq/n-m.MeanETC*m.MeanETC))
+
+	// Task heterogeneity: CV of per-task means.
+	taskMeans := make([]float64, in.T)
+	for t := 0; t < in.T; t++ {
+		rowSum := 0.0
+		for m2 := 0; m2 < in.M; m2++ {
+			rowSum += in.ETCRow(t, m2)
+		}
+		taskMeans[t] = rowSum / float64(in.M)
+	}
+	m.TaskHeterogeneity = coefficientOfVariation(taskMeans)
+
+	// Machine heterogeneity: mean per-row CV.
+	cvSum := 0.0
+	row := make([]float64, in.M)
+	for t := 0; t < in.T; t++ {
+		copy(row, in.TaskRow(t))
+		cvSum += coefficientOfVariation(row)
+	}
+	m.MachineHeterogeneity = cvSum / float64(in.T)
+
+	// Consistency: fraction of machine pairs ordered identically on
+	// every task.
+	consistentPairs, totalPairs := 0, 0
+	for a := 0; a < in.M; a++ {
+		for b := a + 1; b < in.M; b++ {
+			totalPairs++
+			aFaster, bFaster := false, false
+			for t := 0; t < in.T; t++ {
+				va, vb := in.ETC(t, a), in.ETC(t, b)
+				if va < vb {
+					aFaster = true
+				} else if va > vb {
+					bFaster = true
+				}
+				if aFaster && bFaster {
+					break
+				}
+			}
+			if !(aFaster && bFaster) {
+				consistentPairs++
+			}
+		}
+	}
+	if totalPairs > 0 {
+		m.ConsistencyIndex = float64(consistentPairs) / float64(totalPairs)
+	} else {
+		m.ConsistencyIndex = 1
+	}
+
+	// Ideal makespan lower bound.
+	minSum := 0.0
+	for t := 0; t < in.T; t++ {
+		best := math.Inf(1)
+		for m2 := 0; m2 < in.M; m2++ {
+			if v := in.ETC(t, m2); v < best {
+				best = v
+			}
+		}
+		minSum += best
+	}
+	m.IdealMakespan = minSum / float64(in.M)
+	return m
+}
+
+func coefficientOfVariation(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	if mean == 0 {
+		return 0
+	}
+	ss := 0.0
+	for _, v := range xs {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(xs))) / mean
+}
+
+// String renders a compact report.
+func (m Metrics) String() string {
+	return fmt.Sprintf(
+		"etc mean %.2f (std %.2f), task het %.2f, machine het %.2f, consistency %.2f, ideal makespan ≥ %.2f",
+		m.MeanETC, m.StdETC, m.TaskHeterogeneity, m.MachineHeterogeneity, m.ConsistencyIndex, m.IdealMakespan)
+}

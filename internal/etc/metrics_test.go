@@ -1,0 +1,111 @@
+package etc
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func genClass(t *testing.T, cons Consistency, th, mh Heterogeneity) *Instance {
+	t.Helper()
+	cl := Class{Consistency: cons, TaskHet: th, MachineHet: mh}
+	in, err := Generate(GenSpec{Class: cl, Tasks: 128, Machines: 16, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestConsistencyIndexByClass(t *testing.T) {
+	cons := ComputeMetrics(genClass(t, Consistent, High, High))
+	if cons.ConsistencyIndex != 1 {
+		t.Fatalf("consistent instance index %v, want 1", cons.ConsistencyIndex)
+	}
+	inc := ComputeMetrics(genClass(t, Inconsistent, High, High))
+	if inc.ConsistencyIndex > 0.1 {
+		t.Fatalf("inconsistent instance index %v, want ~0", inc.ConsistencyIndex)
+	}
+	semi := ComputeMetrics(genClass(t, SemiConsistent, High, High))
+	if semi.ConsistencyIndex <= inc.ConsistencyIndex || semi.ConsistencyIndex >= cons.ConsistencyIndex {
+		t.Fatalf("semi-consistent index %v not strictly between %v and %v",
+			semi.ConsistencyIndex, inc.ConsistencyIndex, cons.ConsistencyIndex)
+	}
+}
+
+func TestHeterogeneityOrdering(t *testing.T) {
+	hiTask := ComputeMetrics(genClass(t, Inconsistent, High, Low))
+	loTask := ComputeMetrics(genClass(t, Inconsistent, Low, Low))
+	if hiTask.TaskHeterogeneity <= loTask.TaskHeterogeneity {
+		t.Fatalf("hi-task het %v not above lo-task het %v",
+			hiTask.TaskHeterogeneity, loTask.TaskHeterogeneity)
+	}
+	hiMach := ComputeMetrics(genClass(t, Inconsistent, Low, High))
+	loMach := ComputeMetrics(genClass(t, Inconsistent, Low, Low))
+	if hiMach.MachineHeterogeneity <= loMach.MachineHeterogeneity {
+		t.Fatalf("hi-machine het %v not above lo-machine het %v",
+			hiMach.MachineHeterogeneity, loMach.MachineHeterogeneity)
+	}
+}
+
+func TestIdealMakespanIsLowerBound(t *testing.T) {
+	// The bound must not exceed what any constructive schedule achieves.
+	in := genClass(t, Inconsistent, High, High)
+	m := ComputeMetrics(in)
+	if m.IdealMakespan <= 0 {
+		t.Fatalf("ideal makespan %v", m.IdealMakespan)
+	}
+	// A crude upper bound: every task at its max ETC on one machine.
+	worst := 0.0
+	for task := 0; task < in.T; task++ {
+		for mac := 0; mac < in.M; mac++ {
+			worst += in.ETC(task, mac)
+		}
+	}
+	if m.IdealMakespan >= worst {
+		t.Fatal("ideal makespan above the trivial upper bound")
+	}
+}
+
+func TestMetricsMeanStd(t *testing.T) {
+	in, err := New("flat", 2, 2, []float64{3, 3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ComputeMetrics(in)
+	if m.MeanETC != 3 || m.StdETC != 0 {
+		t.Fatalf("mean/std %v/%v, want 3/0", m.MeanETC, m.StdETC)
+	}
+	if m.TaskHeterogeneity != 0 || m.MachineHeterogeneity != 0 {
+		t.Fatal("flat matrix reports heterogeneity")
+	}
+	if m.ConsistencyIndex != 1 {
+		t.Fatal("flat matrix is trivially consistent")
+	}
+	// Ideal: each task min = 3, sum 6, /2 machines = 3.
+	if m.IdealMakespan != 3 {
+		t.Fatalf("ideal %v, want 3", m.IdealMakespan)
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	in := genClass(t, Consistent, Low, Low)
+	s := ComputeMetrics(in).String()
+	for _, want := range []string{"consistency", "ideal makespan", "task het"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("metrics string missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	if cv := coefficientOfVariation(nil); cv != 0 {
+		t.Fatalf("empty CV %v", cv)
+	}
+	if cv := coefficientOfVariation([]float64{5, 5, 5}); cv != 0 {
+		t.Fatalf("constant CV %v", cv)
+	}
+	// {1, 3}: mean 2, population std 1, CV 0.5.
+	if cv := coefficientOfVariation([]float64{1, 3}); math.Abs(cv-0.5) > 1e-12 {
+		t.Fatalf("CV %v, want 0.5", cv)
+	}
+}

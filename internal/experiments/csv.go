@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV writers for each experiment, so results can be post-processed with
+// external plotting tools. Columns mirror the structured row types.
+
+// WriteFig4CSV writes threads, ls iterations, mean evaluations and
+// speedup percent.
+func WriteFig4CSV(w io.Writer, rows []Fig4Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"threads", "ls_iters", "mean_evaluations", "speedup_pct"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			strconv.Itoa(r.Threads),
+			strconv.Itoa(r.LSIters),
+			formatF(r.MeanEvals),
+			formatF(r.SpeedupPct),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig5CSV writes one record per replication: instance, config, run
+// index and makespan — the raw material of the box plots.
+func WriteFig5CSV(w io.Writer, cells []Fig5Cell) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"instance", "config", "run", "makespan"}); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		for i, m := range c.Makespans {
+			rec := []string{c.Instance, c.Config, strconv.Itoa(i), formatF(m)}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable2CSV writes the four mean-makespan columns per instance.
+func WriteTable2CSV(w io.Writer, rows []Table2Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"instance", "struggle_ga", "cma_lth", "pacga_short", "pacga_full"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Instance,
+			formatF(r.Struggle),
+			formatF(r.CMALTH),
+			formatF(r.Short),
+			formatF(r.Full),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig6CSV writes one record per (threads, generation) pair.
+func WriteFig6CSV(w io.Writer, series []Fig6Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"threads", "generation", "mean_makespan"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for g, v := range s.Mean {
+			rec := []string{strconv.Itoa(s.Threads), strconv.Itoa(g + 1), formatF(v)}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatF(v float64) string { return fmt.Sprintf("%.4f", v) }

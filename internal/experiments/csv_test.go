@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"gridsched/internal/stats"
+)
+
+func parseCSV(t *testing.T, b *bytes.Buffer) [][]string {
+	t.Helper()
+	recs, err := csv.NewReader(b).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestWriteFig4CSV(t *testing.T) {
+	rows := []Fig4Row{
+		{Threads: 1, LSIters: 5, MeanEvals: 1000, SpeedupPct: 100},
+		{Threads: 2, LSIters: 5, MeanEvals: 1700, SpeedupPct: 170},
+	}
+	var buf bytes.Buffer
+	if err := WriteFig4CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if len(recs) != 3 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0][0] != "threads" || recs[2][3] != "170.0000" {
+		t.Fatalf("unexpected content: %v", recs)
+	}
+}
+
+func TestWriteFig5CSV(t *testing.T) {
+	box, err := stats.NewBoxPlot([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := []Fig5Cell{
+		{Instance: "u_c_hihi.0", Config: "tpx/10", Makespans: []float64{1, 2}, Box: box},
+	}
+	var buf bytes.Buffer
+	if err := WriteFig5CSV(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if len(recs) != 3 { // header + 2 replications
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[1][0] != "u_c_hihi.0" || recs[1][1] != "tpx/10" || recs[2][2] != "1" {
+		t.Fatalf("unexpected content: %v", recs)
+	}
+}
+
+func TestWriteTable2CSV(t *testing.T) {
+	rows := []Table2Row{{Instance: "u_i_lolo.0", Struggle: 4, CMALTH: 3, Short: 2, Full: 1}}
+	var buf bytes.Buffer
+	if err := WriteTable2CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"instance", "u_i_lolo.0", "1.0000", "4.0000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteFig6CSV(t *testing.T) {
+	series := []Fig6Series{{Threads: 3, Mean: []float64{9, 8, 7}}}
+	var buf bytes.Buffer
+	if err := WriteFig6CSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if len(recs) != 4 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[3][1] != "3" || recs[3][2] != "7.0000" {
+		t.Fatalf("unexpected content: %v", recs)
+	}
+}

@@ -1,0 +1,468 @@
+package gridsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gridsched/internal/etc"
+	"gridsched/internal/heuristics"
+	"gridsched/internal/rng"
+	"gridsched/internal/schedule"
+)
+
+func testInstance(t testing.TB, tasks, machines int, seed uint64) *etc.Instance {
+	t.Helper()
+	in, err := etc.Generate(etc.GenSpec{
+		Class: etc.Class{Consistency: etc.Inconsistent, TaskHet: etc.High, MachineHet: etc.High},
+		Tasks: tasks, Machines: machines, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// The central validation invariant: with no noise and no failures, the
+// simulated makespan equals the schedule's static makespan.
+func TestNoPerturbationMatchesPrediction(t *testing.T) {
+	in := testInstance(t, 64, 8, 1)
+	s := schedule.NewRandom(in, rng.New(2))
+	res, err := Simulate(in, s, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-res.PredictedMakespan) > 1e-6*res.PredictedMakespan {
+		t.Fatalf("simulated %v vs predicted %v", res.Makespan, res.PredictedMakespan)
+	}
+	if res.Completed != in.T {
+		t.Fatalf("completed %d/%d", res.Completed, in.T)
+	}
+	if res.Failures != 0 || res.Restarts != 0 {
+		t.Fatal("phantom failures in a clean run")
+	}
+}
+
+func TestNoPerturbationProperty(t *testing.T) {
+	in := testInstance(t, 40, 6, 4)
+	f := func(seed uint64) bool {
+		s := schedule.NewRandom(in, rng.New(seed))
+		res, err := Simulate(in, s, Config{Seed: seed})
+		if err != nil {
+			return false
+		}
+		return math.Abs(res.Makespan-res.PredictedMakespan) <= 1e-6*res.PredictedMakespan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadyTimesRespected(t *testing.T) {
+	in := testInstance(t, 8, 2, 5)
+	withReady, err := in.WithReady([]float64{100, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schedule.New(withReady)
+	for task := 0; task < withReady.T; task++ {
+		s.Assign(task, 0) // all on the delayed machine
+	}
+	res, err := Simulate(withReady, s, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan < 100 {
+		t.Fatalf("simulation ignored ready time: makespan %v", res.Makespan)
+	}
+	if res.Makespan != res.PredictedMakespan {
+		t.Fatalf("simulated %v vs predicted %v", res.Makespan, res.PredictedMakespan)
+	}
+}
+
+func TestAllTasksFinishExactlyOnce(t *testing.T) {
+	in := testInstance(t, 50, 5, 6)
+	s := schedule.NewRandom(in, rng.New(7))
+	res, err := Simulate(in, s, Config{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for task, ft := range res.TaskFinish {
+		if math.IsNaN(ft) {
+			t.Fatalf("task %d never finished", task)
+		}
+		if ft <= 0 || ft > res.Makespan {
+			t.Fatalf("task %d finish %v outside (0, %v]", task, ft, res.Makespan)
+		}
+	}
+}
+
+func TestNoiseShiftsMakespan(t *testing.T) {
+	in := testInstance(t, 128, 8, 9)
+	s := heuristics.MinMin(in)
+	exact, err := Simulate(in, s, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := Simulate(in, s, Config{Seed: 1, NoiseSigma: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.Makespan == exact.Makespan {
+		t.Fatal("noise had no effect")
+	}
+	if noisy.Completed != in.T {
+		t.Fatal("noise broke completion")
+	}
+	// Different seeds give different noisy makespans.
+	noisy2, err := Simulate(in, s, Config{Seed: 2, NoiseSigma: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy2.Makespan == noisy.Makespan {
+		t.Fatal("noise not seed-dependent")
+	}
+}
+
+func TestNoiseDeterministicPerSeed(t *testing.T) {
+	in := testInstance(t, 64, 8, 10)
+	s := heuristics.MinMin(in)
+	a, err := Simulate(in, s, Config{Seed: 5, NoiseSigma: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(in, s, Config{Seed: 5, NoiseSigma: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatal("same seed, different simulation")
+	}
+}
+
+func TestFailuresWithRepairComplete(t *testing.T) {
+	in := testInstance(t, 96, 8, 11)
+	s := heuristics.MinMin(in)
+	res, err := Simulate(in, s, Config{
+		Seed:       3,
+		MTBF:       s.Makespan() / 4, // several failures expected
+		RepairTime: s.Makespan() / 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != in.T {
+		t.Fatalf("completed %d/%d under failures", res.Completed, in.T)
+	}
+	if res.Failures == 0 {
+		t.Fatal("MTBF set but no failures occurred")
+	}
+	if res.Restarts == 0 {
+		t.Fatal("failures occurred but nothing was rescheduled")
+	}
+	if res.Makespan < res.PredictedMakespan {
+		t.Fatalf("failures cannot speed the schedule up: %v < %v", res.Makespan, res.PredictedMakespan)
+	}
+}
+
+func TestPermanentFailuresStillComplete(t *testing.T) {
+	// Machines never repair; as long as failures are rare enough that
+	// some machine survives, the rescheduler must drain everything.
+	in := testInstance(t, 64, 8, 12)
+	s := heuristics.MinMin(in)
+	res, err := Simulate(in, s, Config{
+		Seed: 4,
+		MTBF: s.Makespan() * 3, // roughly 1-3 permanent losses
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != in.T {
+		t.Fatalf("completed %d/%d", res.Completed, in.T)
+	}
+	if res.Rejoins != 0 {
+		t.Fatal("rejoins without repair time")
+	}
+}
+
+func TestAllMachinesDownErrors(t *testing.T) {
+	in := testInstance(t, 32, 2, 13)
+	s := heuristics.MinMin(in)
+	// Absurdly failure-prone grid with no repair: both machines die
+	// almost immediately and the run must error out rather than hang.
+	_, err := Simulate(in, s, Config{Seed: 5, MTBF: s.Makespan() / 1e6})
+	if err == nil {
+		t.Fatal("simulation with an all-dead grid reported success")
+	}
+}
+
+func TestMaxTimeGuard(t *testing.T) {
+	in := testInstance(t, 64, 4, 14)
+	s := heuristics.MinMin(in)
+	_, err := Simulate(in, s, Config{Seed: 6, MaxTime: s.Makespan() / 1000})
+	if err == nil {
+		t.Fatal("MaxTime guard did not fire")
+	}
+}
+
+func TestTraceRecording(t *testing.T) {
+	in := testInstance(t, 16, 4, 15)
+	s := heuristics.MinMin(in)
+	res, err := Simulate(in, s, Config{Seed: 7, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	starts, completes := 0, 0
+	lastTime := 0.0
+	for _, ev := range res.Trace {
+		if ev.Time < lastTime-1e-9 {
+			t.Fatal("trace not time-ordered")
+		}
+		lastTime = ev.Time
+		switch ev.Kind {
+		case TaskStart:
+			starts++
+		case TaskComplete:
+			completes++
+		}
+	}
+	if starts != in.T || completes != in.T {
+		t.Fatalf("trace has %d starts and %d completes for %d tasks", starts, completes, in.T)
+	}
+	// Without the flag no trace is kept.
+	res2, err := Simulate(in, s, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Trace) != 0 {
+		t.Fatal("trace recorded without RecordTrace")
+	}
+}
+
+func TestIncompleteScheduleRejected(t *testing.T) {
+	in := testInstance(t, 8, 2, 16)
+	s := schedule.New(in)
+	if _, err := Simulate(in, s, Config{}); err == nil {
+		t.Fatal("incomplete schedule accepted")
+	}
+}
+
+func TestWrongInstanceRejected(t *testing.T) {
+	a := testInstance(t, 8, 2, 17)
+	b := testInstance(t, 8, 2, 18)
+	s := schedule.NewRandom(a, rng.New(1))
+	if _, err := Simulate(b, s, Config{}); err == nil {
+		t.Fatal("cross-instance schedule accepted")
+	}
+}
+
+func TestMCTReschedulerPlacesOnUpMachines(t *testing.T) {
+	in := testInstance(t, 10, 4, 19)
+	up := []bool{true, false, true, false}
+	free := []float64{100, 0, 50, 0}
+	tasks := []int{0, 1, 2}
+	placement, err := (MCTRescheduler{}).Place(in, tasks, up, free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range placement {
+		if !up[m] {
+			t.Fatalf("task %d placed on down machine %d", tasks[i], m)
+		}
+	}
+}
+
+func TestMinMinReschedulerPlacesAllTasks(t *testing.T) {
+	in := testInstance(t, 30, 4, 30)
+	up := []bool{true, true, false, true}
+	free := []float64{10, 0, 0, 5}
+	tasks := []int{0, 3, 7, 9, 12}
+	placement, err := (MinMinRescheduler{}).Place(in, tasks, up, free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placement) != len(tasks) {
+		t.Fatalf("%d placements for %d tasks", len(placement), len(tasks))
+	}
+	for i, m := range placement {
+		if m < 0 || m >= in.M || !up[m] {
+			t.Fatalf("task %d placed on invalid machine %d", tasks[i], m)
+		}
+	}
+}
+
+func TestMinMinReschedulerAllDown(t *testing.T) {
+	in := testInstance(t, 4, 2, 31)
+	if _, err := (MinMinRescheduler{}).Place(in, []int{0}, []bool{false, false}, []float64{0, 0}); err == nil {
+		t.Fatal("placement on an empty grid accepted")
+	}
+	// No orphans on a dead grid is fine.
+	if _, err := (MinMinRescheduler{}).Place(in, nil, []bool{false, false}, []float64{0, 0}); err != nil {
+		t.Fatalf("empty task list rejected: %v", err)
+	}
+}
+
+func TestMinMinReschedulerComparableToMCT(t *testing.T) {
+	// Min-min's batch ordering and MCT's task-order greediness make
+	// different trade-offs (Min-min can overload the fastest machine
+	// with small tasks); neither dominates on every instance. Require
+	// the two projected peak loads to stay within a factor of two —
+	// a rescheduler that is wildly worse than the other is a bug.
+	in := testInstance(t, 64, 8, 32)
+	up := make([]bool, in.M)
+	free := make([]float64, in.M)
+	for m := range up {
+		up[m] = m != 0 // machine 0 just died
+	}
+	orphans := make([]int, 32)
+	for i := range orphans {
+		orphans[i] = i
+	}
+	project := func(placement []int) float64 {
+		load := append([]float64(nil), free...)
+		for i, t := range orphans {
+			load[placement[i]] += in.ETC(t, placement[i])
+		}
+		worst := 0.0
+		for _, l := range load {
+			if l > worst {
+				worst = l
+			}
+		}
+		return worst
+	}
+	mct, err := (MCTRescheduler{}).Place(in, orphans, up, free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := (MinMinRescheduler{}).Place(in, orphans, up, free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, pc := project(mm), project(mct)
+	if pm > pc*2 || pc > pm*2 {
+		t.Fatalf("reschedulers diverge wildly: min-min %v vs mct %v", pm, pc)
+	}
+}
+
+func TestSimulateWithMinMinRescheduler(t *testing.T) {
+	in := testInstance(t, 96, 8, 33)
+	s := heuristics.MinMin(in)
+	res, err := Simulate(in, s, Config{
+		Seed:        4,
+		MTBF:        s.Makespan() / 3,
+		RepairTime:  s.Makespan() / 10,
+		Rescheduler: MinMinRescheduler{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != in.T {
+		t.Fatalf("completed %d/%d with Min-min rescheduling", res.Completed, in.T)
+	}
+}
+
+func TestMCTReschedulerAllDown(t *testing.T) {
+	in := testInstance(t, 4, 2, 20)
+	if _, err := (MCTRescheduler{}).Place(in, []int{0}, []bool{false, false}, []float64{0, 0}); err == nil {
+		t.Fatal("placement on an empty grid accepted")
+	}
+}
+
+func TestBetterScheduleSurvivesNoiseBetter(t *testing.T) {
+	// A sanity link between optimization and simulation: under mild
+	// noise the PA-CGA-quality schedule (here Min-min vs OLB as a cheap
+	// stand-in) should keep its advantage on average.
+	in := testInstance(t, 128, 8, 21)
+	good := heuristics.MinMin(in)
+	bad := heuristics.OLB(in)
+	var goodSum, badSum float64
+	const runs = 10
+	for i := uint64(0); i < runs; i++ {
+		g, err := Simulate(in, good, Config{Seed: i, NoiseSigma: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Simulate(in, bad, Config{Seed: i, NoiseSigma: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		goodSum += g.Makespan
+		badSum += b.Makespan
+	}
+	if goodSum >= badSum {
+		t.Fatalf("Min-min schedule (%v) lost its advantage over OLB (%v) under noise", goodSum/runs, badSum/runs)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := rng.New(22)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += exponential(r, 42)
+	}
+	mean := sum / n
+	if mean < 40 || mean > 44 {
+		t.Fatalf("exponential mean %v, want ~42", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := rng.New(23)
+	sum, ss := 0.0, 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := normal(r)
+		sum += v
+		ss += v * v
+	}
+	mean := sum / n
+	variance := ss/n - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Fatalf("normal mean %v", mean)
+	}
+	if variance < 0.9 || variance > 1.1 {
+		t.Fatalf("normal variance %v", variance)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		TaskStart: "start", TaskComplete: "complete", MachineFail: "fail",
+		MachineRejoin: "rejoin", TaskRescheduled: "reschedule",
+	} {
+		if k.String() != want {
+			t.Fatalf("kind %d = %q", int(k), k.String())
+		}
+	}
+}
+
+func BenchmarkSimulateClean(b *testing.B) {
+	in := testInstance(b, 512, 16, 1)
+	s := heuristics.MinMin(in)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(in, s, Config{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateWithFailures(b *testing.B) {
+	in := testInstance(b, 512, 16, 1)
+	s := heuristics.MinMin(in)
+	mtbf := s.Makespan() / 2
+	repair := s.Makespan() / 10
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(in, s, Config{Seed: uint64(i), MTBF: mtbf, RepairTime: repair, NoiseSigma: 0.1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package heuristics implements the classic static mapping heuristics for
+// independent-task scheduling on heterogeneous machines (Braun et al.,
+// Ibarra & Kim). The paper seeds one individual of the PA-CGA population
+// with Min-min (Table 1) and positions such list heuristics as the fast
+// alternative for near-homogeneous instances (§4.2); the rest are
+// provided as baselines for the examples and the benchmark harness.
+package heuristics
+
+import (
+	"fmt"
+	"math"
+
+	"gridsched/internal/etc"
+	"gridsched/internal/rng"
+	"gridsched/internal/schedule"
+)
+
+// Heuristic is a deterministic constructive mapper from instance to
+// complete schedule.
+type Heuristic func(*etc.Instance) *schedule.Schedule
+
+// ByName resolves the heuristic names accepted by the command-line tools.
+func ByName(name string) (Heuristic, error) {
+	switch name {
+	case "minmin", "min-min":
+		return MinMin, nil
+	case "maxmin", "max-min":
+		return MaxMin, nil
+	case "mct":
+		return MCT, nil
+	case "met":
+		return MET, nil
+	case "olb":
+		return OLB, nil
+	case "sufferage":
+		return Sufferage, nil
+	case "ljfr-sjfr", "ljfrsjfr":
+		return LJFRSJFR, nil
+	}
+	return nil, fmt.Errorf("heuristics: unknown heuristic %q", name)
+}
+
+// Names lists the heuristics available through ByName, in display order.
+func Names() []string {
+	return []string{"minmin", "maxmin", "sufferage", "mct", "met", "olb", "ljfr-sjfr"}
+}
+
+// bestCompletion returns the machine minimizing CT[m] + ETC(t, m) and
+// that minimal completion time.
+func bestCompletion(s *schedule.Schedule, t int) (mac int, ct float64) {
+	mac, ct = 0, s.CT[0]+s.Inst.ETC(t, 0)
+	for m := 1; m < s.Inst.M; m++ {
+		if c := s.CT[m] + s.Inst.ETC(t, m); c < ct {
+			mac, ct = m, c
+		}
+	}
+	return mac, ct
+}
+
+// MinMin is the Min-min heuristic of Ibarra & Kim: repeatedly compute,
+// for every unassigned task, its minimum completion time over all
+// machines; commit the task whose minimum is smallest. Intuition: placing
+// the "easiest" tasks first keeps machine loads low for longer.
+func MinMin(inst *etc.Instance) *schedule.Schedule {
+	return minMaxMin(inst, true)
+}
+
+// MaxMin is the dual of Min-min: commit the task whose best completion
+// time is largest, so long tasks are placed early and short tasks fill
+// the gaps.
+func MaxMin(inst *etc.Instance) *schedule.Schedule {
+	return minMaxMin(inst, false)
+}
+
+func minMaxMin(inst *etc.Instance, min bool) *schedule.Schedule {
+	s := schedule.New(inst)
+	unassigned := make([]int, inst.T)
+	for i := range unassigned {
+		unassigned[i] = i
+	}
+	for len(unassigned) > 0 {
+		chosenIdx, chosenMac := -1, -1
+		chosenCT := math.Inf(1)
+		if !min {
+			chosenCT = math.Inf(-1)
+		}
+		for idx, t := range unassigned {
+			mac, ct := bestCompletion(s, t)
+			if (min && ct < chosenCT) || (!min && ct > chosenCT) {
+				chosenIdx, chosenMac, chosenCT = idx, mac, ct
+			}
+		}
+		t := unassigned[chosenIdx]
+		s.Assign(t, chosenMac)
+		unassigned[chosenIdx] = unassigned[len(unassigned)-1]
+		unassigned = unassigned[:len(unassigned)-1]
+	}
+	return s
+}
+
+// MCT (Minimum Completion Time) assigns tasks in index order, each to the
+// machine that completes it earliest given current loads.
+func MCT(inst *etc.Instance) *schedule.Schedule {
+	s := schedule.New(inst)
+	for t := 0; t < inst.T; t++ {
+		mac, _ := bestCompletion(s, t)
+		s.Assign(t, mac)
+	}
+	return s
+}
+
+// MET (Minimum Execution Time) assigns each task to the machine with the
+// smallest raw ETC, ignoring load — fast but prone to overloading the
+// globally fastest machine on consistent instances.
+func MET(inst *etc.Instance) *schedule.Schedule {
+	s := schedule.New(inst)
+	for t := 0; t < inst.T; t++ {
+		best := 0
+		for m := 1; m < inst.M; m++ {
+			if inst.ETC(t, m) < inst.ETC(t, best) {
+				best = m
+			}
+		}
+		s.Assign(t, best)
+	}
+	return s
+}
+
+// OLB (Opportunistic Load Balancing) assigns each task to the machine
+// that becomes idle earliest, ignoring the task's ETC on it.
+func OLB(inst *etc.Instance) *schedule.Schedule {
+	s := schedule.New(inst)
+	for t := 0; t < inst.T; t++ {
+		best := 0
+		for m := 1; m < inst.M; m++ {
+			if s.CT[m] < s.CT[best] {
+				best = m
+			}
+		}
+		s.Assign(t, best)
+	}
+	return s
+}
+
+// Sufferage commits, at each step, the unassigned task that would
+// "suffer" most if denied its best machine: the one with the largest gap
+// between its best and second-best completion times.
+func Sufferage(inst *etc.Instance) *schedule.Schedule {
+	s := schedule.New(inst)
+	unassigned := make([]int, inst.T)
+	for i := range unassigned {
+		unassigned[i] = i
+	}
+	for len(unassigned) > 0 {
+		chosenIdx, chosenMac := -1, -1
+		chosenSuff := math.Inf(-1)
+		for idx, t := range unassigned {
+			best, second := math.Inf(1), math.Inf(1)
+			bestMac := -1
+			for m := 0; m < inst.M; m++ {
+				c := s.CT[m] + inst.ETC(t, m)
+				if c < best {
+					second = best
+					best, bestMac = c, m
+				} else if c < second {
+					second = c
+				}
+			}
+			suff := second - best
+			if inst.M == 1 {
+				suff = 0
+			}
+			if suff > chosenSuff {
+				chosenIdx, chosenMac, chosenSuff = idx, bestMac, suff
+			}
+		}
+		t := unassigned[chosenIdx]
+		s.Assign(t, chosenMac)
+		unassigned[chosenIdx] = unassigned[len(unassigned)-1]
+		unassigned = unassigned[:len(unassigned)-1]
+	}
+	return s
+}
+
+// LJFRSJFR (Longest Job to Fastest Resource / Shortest Job to Fastest
+// Resource) alternates between assigning the longest remaining job and
+// the shortest remaining job, both to the machine that completes them
+// earliest. Job length is measured by mean ETC across machines.
+func LJFRSJFR(inst *etc.Instance) *schedule.Schedule {
+	s := schedule.New(inst)
+	type job struct {
+		task int
+		size float64
+	}
+	jobs := make([]job, inst.T)
+	for t := 0; t < inst.T; t++ {
+		sum := 0.0
+		for m := 0; m < inst.M; m++ {
+			sum += inst.ETC(t, m)
+		}
+		jobs[t] = job{task: t, size: sum / float64(inst.M)}
+	}
+	// Selection by scan keeps the heuristic O(T^2); fine at benchmark size.
+	takeExtreme := func(longest bool) job {
+		bi := 0
+		for i := 1; i < len(jobs); i++ {
+			if (longest && jobs[i].size > jobs[bi].size) || (!longest && jobs[i].size < jobs[bi].size) {
+				bi = i
+			}
+		}
+		j := jobs[bi]
+		jobs[bi] = jobs[len(jobs)-1]
+		jobs = jobs[:len(jobs)-1]
+		return j
+	}
+	longest := true
+	for len(jobs) > 0 {
+		j := takeExtreme(longest)
+		mac, _ := bestCompletion(s, j.task)
+		s.Assign(j.task, mac)
+		longest = !longest
+	}
+	return s
+}
+
+// Random assigns every task to a uniformly random machine; the population
+// initializer of the GA family and the weakest baseline.
+func Random(inst *etc.Instance, r *rng.Rand) *schedule.Schedule {
+	return schedule.NewRandom(inst, r)
+}

@@ -1,0 +1,242 @@
+package heuristics
+
+import (
+	"testing"
+
+	"gridsched/internal/etc"
+	"gridsched/internal/rng"
+	"gridsched/internal/schedule"
+)
+
+func testInstance(t testing.TB, cons etc.Consistency, tasks, machines int, seed uint64) *etc.Instance {
+	t.Helper()
+	in, err := etc.Generate(etc.GenSpec{
+		Class: etc.Class{Consistency: cons, TaskHet: etc.High, MachineHet: etc.High},
+		Tasks: tasks, Machines: machines, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func allHeuristics() map[string]Heuristic {
+	return map[string]Heuristic{
+		"minmin":    MinMin,
+		"maxmin":    MaxMin,
+		"mct":       MCT,
+		"met":       MET,
+		"olb":       OLB,
+		"sufferage": Sufferage,
+		"ljfr-sjfr": LJFRSJFR,
+	}
+}
+
+func TestAllProduceCompleteValidSchedules(t *testing.T) {
+	for _, cons := range []etc.Consistency{etc.Consistent, etc.SemiConsistent, etc.Inconsistent} {
+		in := testInstance(t, cons, 64, 8, 42)
+		for name, h := range allHeuristics() {
+			s := h(in)
+			if !s.Complete() {
+				t.Fatalf("%s on %s: incomplete schedule", name, in.Name)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s on %s: %v", name, in.Name, err)
+			}
+		}
+	}
+}
+
+func TestHeuristicsDeterministic(t *testing.T) {
+	in := testInstance(t, etc.Inconsistent, 50, 6, 7)
+	for name, h := range allHeuristics() {
+		a, b := h(in), h(in)
+		if a.HammingDistance(b) != 0 {
+			t.Fatalf("%s is nondeterministic", name)
+		}
+	}
+}
+
+func TestMinMinBeatsRandomOnAverage(t *testing.T) {
+	in := testInstance(t, etc.Inconsistent, 128, 16, 3)
+	mm := MinMin(in).Makespan()
+	r := rng.New(1)
+	worse := 0
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		if Random(in, r).Makespan() > mm {
+			worse++
+		}
+	}
+	if worse < trials-1 {
+		t.Fatalf("Min-min (%v) beaten by random too often: %d/%d random were worse", mm, worse, trials)
+	}
+}
+
+func TestMinMinBeatsOLBAndMET(t *testing.T) {
+	// On heterogeneous inconsistent instances Min-min should dominate the
+	// naive heuristics comfortably.
+	in := testInstance(t, etc.Inconsistent, 256, 16, 5)
+	mm := MinMin(in).Makespan()
+	if olb := OLB(in).Makespan(); mm > olb {
+		t.Fatalf("Min-min %v worse than OLB %v", mm, olb)
+	}
+	if met := MET(in).Makespan(); mm > met {
+		t.Fatalf("Min-min %v worse than MET %v", mm, met)
+	}
+}
+
+func TestMETPicksPerTaskMinimum(t *testing.T) {
+	in := testInstance(t, etc.Inconsistent, 30, 5, 8)
+	s := MET(in)
+	for task := 0; task < in.T; task++ {
+		for m := 0; m < in.M; m++ {
+			if in.ETC(task, m) < in.ETC(task, s.S[task]) {
+				t.Fatalf("MET assigned task %d to %d but machine %d is faster", task, s.S[task], m)
+			}
+		}
+	}
+}
+
+func TestMETOverloadsFastMachineOnConsistent(t *testing.T) {
+	// On a consistent matrix one machine is fastest for every task, so
+	// MET piles everything on it: a known pathology worth pinning down.
+	in := testInstance(t, etc.Consistent, 40, 4, 9)
+	s := MET(in)
+	first := s.S[0]
+	for task := 1; task < in.T; task++ {
+		if s.S[task] != first {
+			t.Fatal("MET did not assign all tasks to the single fastest machine on a consistent instance")
+		}
+	}
+}
+
+func TestMCTNoWorseThanMETOnConsistent(t *testing.T) {
+	in := testInstance(t, etc.Consistent, 100, 8, 10)
+	if mct, met := MCT(in).Makespan(), MET(in).Makespan(); mct > met {
+		t.Fatalf("MCT %v worse than MET %v on consistent instance", mct, met)
+	}
+}
+
+func TestSufferageHandlesSingleMachine(t *testing.T) {
+	in, err := etc.New("one", 5, 1, []float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Sufferage(in)
+	if !s.Complete() {
+		t.Fatal("sufferage incomplete on single machine")
+	}
+}
+
+func TestMinMinTinyHandComputed(t *testing.T) {
+	// 2 tasks, 2 machines.
+	// ETC: task0: [1, 10], task1: [2, 2].
+	// Min-min: task0 has min completion 1 (m0); task1 has min 2 (m0 or
+	// m1). Pick task0 -> m0 (CT0=1). Then task1: m0 gives 3, m1 gives 2,
+	// so m1. Makespan 2.
+	in, err := etc.New("tiny", 2, 2, []float64{1, 10, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MinMin(in)
+	if s.S[0] != 0 || s.S[1] != 1 {
+		t.Fatalf("Min-min assignment %v, want [0 1]", s.S)
+	}
+	if got := s.Makespan(); got != 2 {
+		t.Fatalf("makespan %v, want 2", got)
+	}
+}
+
+func TestMaxMinTinyHandComputed(t *testing.T) {
+	// Same instance: Max-min picks task1 first (its best completion, 2,
+	// exceeds task0's 1). task1 -> m0 or m1 at 2 (m0 wins the scan tie
+	// at equal CT? both CT=0: m0 first). Then task0: m0 gives 2+1=3, m1
+	// gives 10; m0. Makespan 3.
+	in, err := etc.New("tiny", 2, 2, []float64{1, 10, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MaxMin(in)
+	if got := s.Makespan(); got != 3 {
+		t.Fatalf("makespan %v, want 3 (assignment %v)", got, s.S)
+	}
+}
+
+func TestLJFRSJFRAssignsAllTasksOnce(t *testing.T) {
+	in := testInstance(t, etc.SemiConsistent, 33, 7, 11)
+	s := LJFRSJFR(in)
+	count := 0
+	for m := 0; m < in.M; m++ {
+		count += s.CountOn(m)
+	}
+	if count != in.T {
+		t.Fatalf("LJFR-SJFR assigned %d tasks, want %d", count, in.T)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		h, err := ByName(name)
+		if err != nil || h == nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("magic"); err == nil {
+		t.Fatal("accepted bogus heuristic name")
+	}
+	// Aliases.
+	for _, alias := range []string{"min-min", "max-min", "ljfrsjfr"} {
+		if _, err := ByName(alias); err != nil {
+			t.Fatalf("alias %q rejected: %v", alias, err)
+		}
+	}
+}
+
+func TestRandomUsesRNG(t *testing.T) {
+	in := testInstance(t, etc.Inconsistent, 64, 8, 12)
+	a := Random(in, rng.New(1))
+	b := Random(in, rng.New(1))
+	if a.HammingDistance(b) != 0 {
+		t.Fatal("Random with same seed differs")
+	}
+	c := Random(in, rng.New(2))
+	if a.HammingDistance(c) == 0 {
+		t.Fatal("Random with different seed identical")
+	}
+}
+
+func TestHeuristicRanking512x16(t *testing.T) {
+	// Smoke-check the paper-scale instance: all heuristics complete and
+	// Min-min / Sufferage land within sane bounds of each other.
+	in := testInstance(t, etc.Inconsistent, 512, 16, 13)
+	results := map[string]float64{}
+	for name, h := range allHeuristics() {
+		s := h(in)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		results[name] = s.Makespan()
+	}
+	if results["minmin"] > 3*results["sufferage"] || results["sufferage"] > 3*results["minmin"] {
+		t.Fatalf("minmin %v and sufferage %v suspiciously far apart", results["minmin"], results["sufferage"])
+	}
+}
+
+var benchSink *schedule.Schedule
+
+func BenchmarkMinMin512x16(b *testing.B) {
+	in := testInstance(b, etc.Inconsistent, 512, 16, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = MinMin(in)
+	}
+}
+
+func BenchmarkSufferage512x16(b *testing.B) {
+	in := testInstance(b, etc.Inconsistent, 512, 16, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = Sufferage(in)
+	}
+}

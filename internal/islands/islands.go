@@ -1,0 +1,339 @@
+// Package islands implements a distributed island-model cellular GA: the
+// message-passing parallelization the paper's survey contrasts with its
+// shared-memory design (Luque, Alba & Dorronsoro's parallel cellular GAs
+// for clusters). Each island evolves a private cellular population with
+// no locks at all; the only coupling is periodic migration of elite
+// individuals over channels arranged in a directed ring.
+//
+// Compared with PA-CGA (internal/core), the island model trades the
+// tight per-generation interaction of one large toroidal population for
+// complete isolation plus rare, explicit communication — the same
+// algorithm family running at the opposite end of the coupling spectrum,
+// which makes it the natural ablation for the paper's shared-memory
+// bet.
+package islands
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridsched/internal/core"
+	"gridsched/internal/etc"
+	"gridsched/internal/heuristics"
+	"gridsched/internal/operators"
+	"gridsched/internal/rng"
+	"gridsched/internal/schedule"
+	"gridsched/internal/topology"
+)
+
+// Config parameterizes the island model. Operator fields default to the
+// paper's Table 1 choices so islands differ from PA-CGA only in
+// structure.
+type Config struct {
+	// Islands is the number of independent populations (default 4).
+	Islands int
+	// GridW, GridH are the per-island mesh dimensions (default 8×8, so
+	// 4 islands match the paper's 256-individual total).
+	GridW, GridH int
+	// MigrationEvery is the number of island generations between
+	// migrations (default 10).
+	MigrationEvery int64
+	// Migrants is how many elite individuals are sent per migration
+	// (default 1).
+	Migrants int
+	// Neighborhood, Selector, Crossover, Mutation, Local, Replacement
+	// and the probabilities mirror core.Params; nil/zero values take the
+	// Table 1 defaults.
+	Neighborhood topology.Neighborhood
+	Selector     operators.Selector
+	Crossover    operators.Crossover
+	CrossProb    float64
+	Mutation     operators.Mutation
+	MutProb      float64
+	Local        operators.LocalSearch
+	LocalProb    float64
+	Replacement  operators.Replacement
+	// SeedMinMin seeds island 0's first individual with Min-min.
+	SeedMinMin bool
+	// Seed drives all randomness.
+	Seed uint64
+	// Stop conditions; at least one must be set. MaxGenerations bounds
+	// each island; MaxEvaluations is global.
+	MaxGenerations int64
+	MaxEvaluations int64
+	MaxDuration    time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	def := core.DefaultParams()
+	if c.Islands == 0 {
+		c.Islands = 4
+	}
+	if c.GridW == 0 && c.GridH == 0 {
+		c.GridW, c.GridH = 8, 8
+	}
+	if c.MigrationEvery == 0 {
+		c.MigrationEvery = 10
+	}
+	if c.Migrants == 0 {
+		c.Migrants = 1
+	}
+	if c.Selector == nil {
+		c.Selector = def.Selector
+	}
+	if c.Crossover == nil {
+		c.Crossover = def.Crossover
+	}
+	if c.Mutation == nil {
+		c.Mutation = def.Mutation
+	}
+	if c.Local == nil {
+		c.Local = def.Local
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Islands <= 0 {
+		return fmt.Errorf("islands: non-positive island count %d", c.Islands)
+	}
+	if c.GridW <= 0 || c.GridH <= 0 {
+		return fmt.Errorf("islands: invalid island grid %dx%d", c.GridW, c.GridH)
+	}
+	if c.Migrants < 0 || c.Migrants > c.GridW*c.GridH/2 {
+		return fmt.Errorf("islands: %d migrants out of range for a %d-cell island", c.Migrants, c.GridW*c.GridH)
+	}
+	if c.MigrationEvery < 0 {
+		return fmt.Errorf("islands: negative migration interval")
+	}
+	for _, p := range []float64{c.CrossProb, c.MutProb, c.LocalProb} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("islands: probability %v outside [0,1]", p)
+		}
+	}
+	if c.MaxGenerations <= 0 && c.MaxEvaluations <= 0 && c.MaxDuration <= 0 {
+		return fmt.Errorf("islands: no stop condition set")
+	}
+	return nil
+}
+
+// migrant is one individual in flight between islands.
+type migrant struct {
+	assign  []int
+	fitness float64
+}
+
+// island is one private cellular population plus its ring channels.
+type island struct {
+	id       int
+	grid     topology.Grid
+	pop      []*schedule.Schedule
+	fit      []float64
+	r        *rng.Rand
+	inbox    <-chan migrant
+	outbox   chan<- migrant
+	cfg      *Config
+	evals    *atomic.Int64
+	deadline time.Time
+
+	p1, p2, child *schedule.Schedule
+	neigh         []int
+	cands         []operators.Candidate
+	gens          int64
+}
+
+// Run executes the island model and reports a core.Result so all engines
+// share one result shape (PerThread holds per-island generations).
+func Run(inst *etc.Instance, cfg Config) (*core.Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	grid, err := topology.NewGrid(cfg.GridW, cfg.GridH)
+	if err != nil {
+		return nil, err
+	}
+
+	root := rng.New(cfg.Seed)
+	var evals atomic.Int64
+
+	// Ring channels: island i sends to (i+1) mod N. Buffers are sized
+	// so a sender never blocks even if the receiver has already
+	// terminated (sends are also non-blocking as a second guard).
+	chans := make([]chan migrant, cfg.Islands)
+	for i := range chans {
+		chans[i] = make(chan migrant, cfg.Migrants*4+4)
+	}
+
+	islands := make([]*island, cfg.Islands)
+	t0 := time.Now()
+	var deadline time.Time
+	if cfg.MaxDuration > 0 {
+		deadline = t0.Add(cfg.MaxDuration)
+	}
+	for i := range islands {
+		isl := &island{
+			id:       i,
+			grid:     grid,
+			r:        root.Split(uint64(i) + 1),
+			inbox:    chans[i],
+			outbox:   chans[(i+1)%cfg.Islands],
+			cfg:      &cfg,
+			evals:    &evals,
+			deadline: deadline,
+			p1:       schedule.New(inst),
+			p2:       schedule.New(inst),
+			child:    schedule.New(inst),
+			neigh:    make([]int, 0, cfg.Neighborhood.Size()),
+			cands:    make([]operators.Candidate, 0, cfg.Neighborhood.Size()),
+		}
+		isl.pop = make([]*schedule.Schedule, grid.Size())
+		isl.fit = make([]float64, grid.Size())
+		initRNG := isl.r.Split(0)
+		for c := range isl.pop {
+			if i == 0 && c == 0 && cfg.SeedMinMin {
+				isl.pop[c] = heuristics.MinMin(inst)
+			} else {
+				isl.pop[c] = schedule.NewRandom(inst, initRNG)
+			}
+			isl.fit[c] = isl.pop[c].Makespan()
+		}
+		islands[i] = isl
+	}
+	evals.Store(int64(cfg.Islands * grid.Size()))
+
+	var wg sync.WaitGroup
+	for _, isl := range islands {
+		wg.Add(1)
+		go func(isl *island) {
+			defer wg.Done()
+			isl.evolve()
+		}(isl)
+	}
+	wg.Wait()
+
+	res := &core.Result{
+		Evaluations: evals.Load(),
+		Duration:    time.Since(t0),
+		PerThread:   make([]int64, cfg.Islands),
+	}
+	bestFit := islands[0].fit[0]
+	var best *schedule.Schedule
+	for i, isl := range islands {
+		res.PerThread[i] = isl.gens
+		res.Generations += isl.gens
+		for c, f := range isl.fit {
+			if best == nil || f < bestFit {
+				best, bestFit = isl.pop[c], f
+			}
+		}
+	}
+	res.Best = best.Clone()
+	res.BestFitness = bestFit
+	return res, nil
+}
+
+// evolve runs the island until a stop condition fires.
+func (isl *island) evolve() {
+	cfg := isl.cfg
+	for {
+		if !isl.deadline.IsZero() && !time.Now().Before(isl.deadline) {
+			return
+		}
+		if cfg.MaxGenerations > 0 && isl.gens >= cfg.MaxGenerations {
+			return
+		}
+		isl.receiveMigrants()
+		for cell := 0; cell < isl.grid.Size(); cell++ {
+			if cfg.MaxEvaluations > 0 && isl.evals.Load() >= cfg.MaxEvaluations {
+				return
+			}
+			isl.evolveCell(cell)
+		}
+		isl.gens++
+		if cfg.MigrationEvery > 0 && isl.gens%cfg.MigrationEvery == 0 {
+			isl.sendMigrants()
+		}
+	}
+}
+
+// evolveCell is the lock-free version of the PA-CGA breeding loop: the
+// island owns its population outright.
+func (isl *island) evolveCell(cell int) {
+	cfg := isl.cfg
+	isl.neigh = cfg.Neighborhood.Neighbors(isl.grid, cell, isl.neigh)
+	isl.cands = isl.cands[:0]
+	for _, c := range isl.neigh {
+		isl.cands = append(isl.cands, operators.Candidate{Cell: c, Fitness: isl.fit[c]})
+	}
+	i1, i2 := cfg.Selector.Select(isl.cands, isl.r)
+	isl.p1.CopyFrom(isl.pop[isl.cands[i1].Cell])
+	if i2 == i1 {
+		isl.p2.CopyFrom(isl.p1)
+	} else {
+		isl.p2.CopyFrom(isl.pop[isl.cands[i2].Cell])
+	}
+	if isl.r.Bool(cfg.CrossProb) {
+		cfg.Crossover.Cross(isl.child, isl.p1, isl.p2, isl.r)
+	} else {
+		isl.child.CopyFrom(isl.p1)
+	}
+	if isl.r.Bool(cfg.MutProb) {
+		cfg.Mutation.Mutate(isl.child, isl.r)
+	}
+	if cfg.LocalProb > 0 && isl.r.Bool(cfg.LocalProb) {
+		cfg.Local.Apply(isl.child, isl.r)
+	}
+	f := isl.child.Makespan()
+	isl.evals.Add(1)
+	if cfg.Replacement.Accepts(isl.fit[cell], f) {
+		isl.pop[cell].CopyFrom(isl.child)
+		isl.fit[cell] = f
+	}
+}
+
+// sendMigrants emits copies of the island's best individuals into the
+// ring. Sends are non-blocking: if the neighbor's buffer is full (or the
+// neighbor terminated long ago), the migrant is dropped — migration is
+// best-effort by design.
+func (isl *island) sendMigrants() {
+	for k := 0; k < isl.cfg.Migrants; k++ {
+		best := 0
+		for c := 1; c < len(isl.fit); c++ {
+			if isl.fit[c] < isl.fit[best] {
+				best = c
+			}
+		}
+		m := migrant{assign: append([]int(nil), isl.pop[best].S...), fitness: isl.fit[best]}
+		select {
+		case isl.outbox <- m:
+		default:
+		}
+	}
+}
+
+// receiveMigrants drains the inbox; each migrant replaces the island's
+// worst individual if strictly better.
+func (isl *island) receiveMigrants() {
+	for {
+		select {
+		case m := <-isl.inbox:
+			worst := 0
+			for c := 1; c < len(isl.fit); c++ {
+				if isl.fit[c] > isl.fit[worst] {
+					worst = c
+				}
+			}
+			if m.fitness < isl.fit[worst] {
+				for t, mac := range m.assign {
+					isl.pop[worst].SetAssignment(t, mac)
+				}
+				isl.fit[worst] = m.fitness
+			}
+		default:
+			return
+		}
+	}
+}

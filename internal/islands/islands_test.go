@@ -1,0 +1,172 @@
+package islands
+
+import (
+	"testing"
+
+	"gridsched/internal/etc"
+	"gridsched/internal/heuristics"
+)
+
+func testInstance(t testing.TB, seed uint64) *etc.Instance {
+	t.Helper()
+	in, err := etc.Generate(etc.GenSpec{
+		Class: etc.Class{Consistency: etc.Inconsistent, TaskHet: etc.High, MachineHet: etc.High},
+		Tasks: 128, Machines: 16, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestRunBasic(t *testing.T) {
+	in := testInstance(t, 1)
+	res, err := Run(in, Config{Seed: 1, MaxGenerations: 10, SeedMinMin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Best.Complete() {
+		t.Fatal("incomplete best")
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Makespan() != res.BestFitness {
+		t.Fatal("fitness/schedule mismatch")
+	}
+	if len(res.PerThread) != 4 {
+		t.Fatalf("PerThread %v, want 4 islands", res.PerThread)
+	}
+}
+
+func TestRunGenerationBudgetPerIsland(t *testing.T) {
+	in := testInstance(t, 2)
+	res, err := Run(in, Config{Seed: 3, MaxGenerations: 7, Islands: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range res.PerThread {
+		if g != 7 {
+			t.Fatalf("island %d ran %d generations, want 7", i, g)
+		}
+	}
+	// 3 islands × 64 cells initial + 3 × 7 × 64 breedings.
+	want := int64(3*64 + 3*7*64)
+	if res.Evaluations != want {
+		t.Fatalf("evaluations %d, want %d", res.Evaluations, want)
+	}
+}
+
+func TestRunEvaluationBudget(t *testing.T) {
+	in := testInstance(t, 3)
+	res, err := Run(in, Config{Seed: 5, MaxEvaluations: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget checked per breeding step; overshoot bounded by islands-1.
+	if res.Evaluations > 2000+4 {
+		t.Fatalf("evaluations %d overshot 2000", res.Evaluations)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	in := testInstance(t, 4)
+	cases := []Config{
+		{Seed: 1}, // no stop condition
+		{Seed: 1, Islands: -1, MaxGenerations: 1},         // bad island count
+		{Seed: 1, GridW: -1, GridH: 2, MaxGenerations: 1}, // bad grid
+		{Seed: 1, Migrants: 1000, MaxGenerations: 1},      // too many migrants
+		{Seed: 1, CrossProb: 2, MaxGenerations: 1},        // bad probability
+		{Seed: 1, MigrationEvery: -1, MaxGenerations: 1},  // negative interval
+	}
+	for i, cfg := range cases {
+		if _, err := Run(in, cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestRunImprovesWithBudget(t *testing.T) {
+	in := testInstance(t, 5)
+	short, err := Run(in, Config{Seed: 7, MaxGenerations: 1, SeedMinMin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Run(in, Config{Seed: 7, MaxGenerations: 40, SeedMinMin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.BestFitness > short.BestFitness {
+		t.Fatalf("more generations made things worse: %v -> %v", short.BestFitness, long.BestFitness)
+	}
+}
+
+func TestRunBeatsMinMinSeed(t *testing.T) {
+	in := testInstance(t, 6)
+	mm := heuristics.MinMin(in).Makespan()
+	res, err := Run(in, Config{Seed: 9, MaxGenerations: 40, SeedMinMin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness >= mm {
+		t.Fatalf("islands (%v) failed to improve on Min-min (%v)", res.BestFitness, mm)
+	}
+}
+
+func TestMigrationSpreadsEliteAcrossIslands(t *testing.T) {
+	// With migration, the Min-min-derived elite of island 0 should reach
+	// the other islands; without, islands evolve blind. Compare overall
+	// best with migration on vs off over the same budget — migration
+	// should not hurt, and usually helps (allow equality, forbid a
+	// meaningful regression).
+	in := testInstance(t, 7)
+	with, err := Run(in, Config{Seed: 11, MaxGenerations: 40, MigrationEvery: 5, SeedMinMin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MigrationEvery beyond MaxGenerations disables migration entirely.
+	without, err := Run(in, Config{Seed: 11, MaxGenerations: 40, MigrationEvery: 1000, SeedMinMin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.BestFitness > without.BestFitness*1.05 {
+		t.Fatalf("migration made results >5%% worse: %v vs %v", with.BestFitness, without.BestFitness)
+	}
+}
+
+func TestSingleIsland(t *testing.T) {
+	// One island degenerates to a plain asynchronous cellular GA; the
+	// ring points at itself and must not deadlock.
+	in := testInstance(t, 8)
+	res, err := Run(in, Config{Seed: 13, Islands: 1, MaxGenerations: 15, MigrationEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManySmallIslands(t *testing.T) {
+	in := testInstance(t, 9)
+	res, err := Run(in, Config{Seed: 15, Islands: 8, GridW: 4, GridH: 4, MaxGenerations: 10, MigrationEvery: 2, Migrants: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerThread) != 8 {
+		t.Fatalf("%d islands reported", len(res.PerThread))
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIslands4x64(b *testing.B) {
+	in := testInstance(b, 1)
+	for i := 0; i < b.N; i++ {
+		cfg := Config{Seed: uint64(i), MaxEvaluations: 4000, SeedMinMin: true}
+		if _, err := Run(in, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with identical seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds coincided %d/1000 times", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(7).Split(3)
+	b := New(7).Split(3)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("identical splits diverged at step %d", i)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c0 := parent.Split(0)
+	parent2 := New(7)
+	c1 := parent2.Split(1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c0.Uint64() == c1.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("sibling splits coincided %d/1000 times", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(99)
+	for _, n := range []int{1, 2, 3, 7, 10, 16, 256, 512, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-square check over 16 buckets; loose threshold to avoid flakes.
+	r := New(2024)
+	const buckets = 16
+	const samples = 160000
+	counts := make([]int, buckets)
+	for i := 0; i < samples; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	expected := float64(samples) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// df=15, p=0.001 critical value is ~37.7.
+	if chi2 > 37.7 {
+		t.Fatalf("chi-square %f too large; counts=%v", chi2, counts)
+	}
+}
+
+func TestFloat64Range01(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(6)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %f far from 0.5", mean)
+	}
+}
+
+func TestFloat64RangeProperty(t *testing.T) {
+	r := New(8)
+	f := func(a, b float64) bool {
+		lo, hi := a, b
+		if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+			return true
+		}
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		if math.IsInf(hi-lo, 0) {
+			return true // range width overflows float64; out of scope
+		}
+		v := r.Float64Range(lo, hi)
+		return v >= lo && (v <= hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+		if r.Bool(-0.5) {
+			t.Fatal("Bool(-0.5) returned true")
+		}
+		if !r.Bool(1.5) {
+			t.Fatal("Bool(1.5) returned false")
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(10)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency %f", p)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(11)
+	for _, n := range []int{0, 1, 2, 5, 16, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := New(12)
+	xs := []int{1, 1, 2, 3, 5, 8, 13}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum2 := 0
+	for _, v := range xs {
+		sum2 += v
+	}
+	if sum != sum2 {
+		t.Fatalf("shuffle changed multiset: %v", xs)
+	}
+}
+
+func TestZeroStateFixup(t *testing.T) {
+	// New must never produce an all-zero internal state: an all-zero
+	// xoshiro stream is stuck at zero forever.
+	for _, seed := range []uint64{0, 1, math.MaxUint64} {
+		r := New(seed)
+		zeros := 0
+		for i := 0; i < 16; i++ {
+			if r.Uint64() == 0 {
+				zeros++
+			}
+		}
+		if zeros == 16 {
+			t.Fatalf("seed %d produced a stuck-at-zero stream", seed)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn16(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = r.Intn(16)
+	}
+	_ = sink
+}

@@ -1,0 +1,397 @@
+// Package schedule implements the solution representation of §3.3: a
+// task→machine assignment vector S together with a per-machine
+// completion-time vector CT that every operator keeps up to date
+// incrementally, so that evaluating a schedule reduces to scanning the 16
+// completion times for the maximum instead of re-summing 512 ETC entries.
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gridsched/internal/etc"
+	"gridsched/internal/rng"
+)
+
+// Unassigned marks a task that has not been placed on any machine yet.
+const Unassigned = -1
+
+// Schedule is a (possibly partial) solution for one ETC instance.
+//
+// Invariant: for every machine m,
+//
+//	CT[m] = ready[m] + Σ_{t : S[t]=m} ETC[t][m]
+//
+// maintained incrementally by Assign, Move and Unassign. The invariant is
+// checked exhaustively by Validate and by the property tests.
+type Schedule struct {
+	Inst *etc.Instance
+	S    []int     // S[t] = machine of task t, or Unassigned
+	CT   []float64 // completion time per machine
+}
+
+// New returns an empty schedule (all tasks unassigned, CT = ready times).
+func New(inst *etc.Instance) *Schedule {
+	s := &Schedule{
+		Inst: inst,
+		S:    make([]int, inst.T),
+		CT:   make([]float64, inst.M),
+	}
+	for t := range s.S {
+		s.S[t] = Unassigned
+	}
+	copy(s.CT, inst.Ready)
+	return s
+}
+
+// NewRandom returns a complete schedule assigning every task to a machine
+// drawn uniformly at random; this is how the paper initializes all but
+// one individual of the population.
+func NewRandom(inst *etc.Instance, r *rng.Rand) *Schedule {
+	s := New(inst)
+	for t := 0; t < inst.T; t++ {
+		s.Assign(t, r.Intn(inst.M))
+	}
+	return s
+}
+
+// FromAssignment builds a schedule from an existing assignment vector
+// (which may contain Unassigned entries). The vector is copied and CT is
+// computed from scratch.
+func FromAssignment(inst *etc.Instance, assign []int) (*Schedule, error) {
+	if len(assign) != inst.T {
+		return nil, fmt.Errorf("schedule: assignment length %d, want %d", len(assign), inst.T)
+	}
+	s := New(inst)
+	for t, m := range assign {
+		if m == Unassigned {
+			continue
+		}
+		if m < 0 || m >= inst.M {
+			return nil, fmt.Errorf("schedule: task %d assigned to invalid machine %d", t, m)
+		}
+		s.Assign(t, m)
+	}
+	return s, nil
+}
+
+// Assign places the unassigned task t on machine m, updating CT in O(1).
+// It panics if t is already assigned (use Move instead); that is a
+// programming error, not a runtime condition.
+func (s *Schedule) Assign(t, m int) {
+	if s.S[t] != Unassigned {
+		panic(fmt.Sprintf("schedule: Assign on already-assigned task %d", t))
+	}
+	s.S[t] = m
+	s.CT[m] += s.Inst.ETC(t, m)
+}
+
+// Unassign removes task t from its machine, updating CT in O(1). It is a
+// no-op for unassigned tasks.
+func (s *Schedule) Unassign(t int) {
+	m := s.S[t]
+	if m == Unassigned {
+		return
+	}
+	s.CT[m] -= s.Inst.ETC(t, m)
+	s.S[t] = Unassigned
+}
+
+// Move reassigns task t to machine m with an O(1) CT update. Moving a
+// task to its current machine is a no-op. Moving an unassigned task is
+// equivalent to Assign.
+func (s *Schedule) Move(t, m int) {
+	from := s.S[t]
+	if from == m {
+		return
+	}
+	if from != Unassigned {
+		s.CT[from] -= s.Inst.ETC(t, from)
+	}
+	s.S[t] = m
+	s.CT[m] += s.Inst.ETC(t, m)
+}
+
+// SetAssignment overwrites the assignment of task t like Move but
+// additionally accepts Unassigned as destination.
+func (s *Schedule) SetAssignment(t, m int) {
+	if m == Unassigned {
+		s.Unassign(t)
+		return
+	}
+	s.Move(t, m)
+}
+
+// Complete reports whether every task is assigned.
+func (s *Schedule) Complete() bool {
+	for _, m := range s.S {
+		if m == Unassigned {
+			return false
+		}
+	}
+	return true
+}
+
+// Makespan is the fitness of §2.2: the maximum completion time over all
+// machines (Eq. 3). It is O(machines) thanks to the maintained CT.
+func (s *Schedule) Makespan() float64 {
+	max := math.Inf(-1)
+	for _, c := range s.CT {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// MakespanMachine returns the index of the machine that defines the
+// makespan (ties broken toward the lowest index) and its completion time.
+func (s *Schedule) MakespanMachine() (machine int, ct float64) {
+	machine, ct = 0, s.CT[0]
+	for m := 1; m < len(s.CT); m++ {
+		if s.CT[m] > ct {
+			machine, ct = m, s.CT[m]
+		}
+	}
+	return machine, ct
+}
+
+// Flowtime returns the sum of task finishing times assuming each machine
+// runs its tasks in shortest-processing-time order (the convention of the
+// batch-scheduling literature the paper draws its baselines from). It is
+// provided for instrumentation; the paper optimizes makespan only.
+func (s *Schedule) Flowtime() float64 {
+	perMachine := make([][]float64, s.Inst.M)
+	for t, m := range s.S {
+		if m == Unassigned {
+			continue
+		}
+		perMachine[m] = append(perMachine[m], s.Inst.ETC(t, m))
+	}
+	total := 0.0
+	for m, ds := range perMachine {
+		sort.Float64s(ds)
+		acc := s.Inst.Ready[m]
+		for _, d := range ds {
+			acc += d
+			total += acc
+		}
+	}
+	return total
+}
+
+// RecomputeCT rebuilds CT from scratch; it exists to validate the
+// incremental bookkeeping and to measure how much the incremental scheme
+// saves (ablation benchmark 3 in DESIGN.md).
+func (s *Schedule) RecomputeCT() {
+	copy(s.CT, s.Inst.Ready)
+	for t, m := range s.S {
+		if m != Unassigned {
+			s.CT[m] += s.Inst.ETC(t, m)
+		}
+	}
+}
+
+// MakespanFull evaluates the makespan without trusting CT, recomputing
+// machine loads from S. Used by the incremental-vs-full ablation.
+func (s *Schedule) MakespanFull() float64 {
+	ct := make([]float64, s.Inst.M)
+	copy(ct, s.Inst.Ready)
+	for t, m := range s.S {
+		if m != Unassigned {
+			ct[m] += s.Inst.ETC(t, m)
+		}
+	}
+	max := math.Inf(-1)
+	for _, c := range ct {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Validate verifies the CT invariant against a fresh recomputation
+// within a tolerance that accounts for floating-point drift of long
+// incremental update chains. The absolute tolerance scales with the
+// peak completion time: a machine that once carried a load of magnitude
+// P and was then emptied retains residue on the order of ulp(P) per
+// update, which no fixed absolute epsilon covers. Real bookkeeping bugs
+// misaccount whole ETC entries (≥ 1 by construction), far above the
+// tolerance.
+func (s *Schedule) Validate() error {
+	ct := make([]float64, s.Inst.M)
+	copy(ct, s.Inst.Ready)
+	for t, m := range s.S {
+		if m == Unassigned {
+			continue
+		}
+		if m < 0 || m >= s.Inst.M {
+			return fmt.Errorf("schedule: task %d on invalid machine %d", t, m)
+		}
+		ct[m] += s.Inst.ETC(t, m)
+	}
+	peak := 1.0
+	for m := range ct {
+		if a := math.Abs(ct[m]); a > peak {
+			peak = a
+		}
+		if a := math.Abs(s.CT[m]); a > peak {
+			peak = a
+		}
+	}
+	tol := 1e-7 * peak
+	for m := range ct {
+		diff := math.Abs(ct[m] - s.CT[m])
+		if diff > tol && !approxEqual(ct[m], s.CT[m]) {
+			return fmt.Errorf("schedule: CT[%d] = %v, recomputed %v", m, s.CT[m], ct[m])
+		}
+	}
+	return nil
+}
+
+func approxEqual(a, b float64) bool {
+	diff := math.Abs(a - b)
+	if diff == 0 {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-6*scale || diff <= 1e-9
+}
+
+// Clone returns a deep copy sharing the (immutable) instance.
+func (s *Schedule) Clone() *Schedule {
+	return &Schedule{
+		Inst: s.Inst,
+		S:    append([]int(nil), s.S...),
+		CT:   append([]float64(nil), s.CT...),
+	}
+}
+
+// CopyFrom overwrites s with src in place, without allocating. Both
+// schedules must target the same instance.
+func (s *Schedule) CopyFrom(src *Schedule) {
+	if s.Inst != src.Inst {
+		panic("schedule: CopyFrom across instances")
+	}
+	copy(s.S, src.S)
+	copy(s.CT, src.CT)
+}
+
+// HammingDistance counts tasks assigned to different machines in s and
+// o. It is the similarity measure of the struggle GA baseline.
+func (s *Schedule) HammingDistance(o *Schedule) int {
+	if len(s.S) != len(o.S) {
+		panic("schedule: HammingDistance over different task counts")
+	}
+	d := 0
+	for t := range s.S {
+		if s.S[t] != o.S[t] {
+			d++
+		}
+	}
+	return d
+}
+
+// TasksOn appends to buf the tasks currently assigned to machine m and
+// returns the extended slice. Pass a reusable buffer to avoid
+// allocations in hot loops.
+func (s *Schedule) TasksOn(m int, buf []int) []int {
+	for t, mm := range s.S {
+		if mm == m {
+			buf = append(buf, t)
+		}
+	}
+	return buf
+}
+
+// CountOn returns how many tasks are assigned to machine m.
+func (s *Schedule) CountOn(m int) int {
+	n := 0
+	for _, mm := range s.S {
+		if mm == m {
+			n++
+		}
+	}
+	return n
+}
+
+// RandomTaskOn returns a uniformly chosen task assigned to machine m via
+// reservoir sampling over a single scan of S, or -1 if the machine is
+// empty. H2LL uses this to pick the task to move off the makespan
+// machine.
+func (s *Schedule) RandomTaskOn(m int, r *rng.Rand) int {
+	chosen, seen := -1, 0
+	for t, mm := range s.S {
+		if mm != m {
+			continue
+		}
+		seen++
+		if r.Intn(seen) == 0 {
+			chosen = t
+		}
+	}
+	return chosen
+}
+
+// MachinesByCompletion returns machine indices sorted by ascending
+// completion time (ties by index, making the order deterministic). The
+// result is written into dst when it has sufficient capacity.
+func (s *Schedule) MachinesByCompletion(dst []int) []int {
+	if cap(dst) < s.Inst.M {
+		dst = make([]int, s.Inst.M)
+	}
+	dst = dst[:s.Inst.M]
+	for i := range dst {
+		dst[i] = i
+	}
+	sort.Slice(dst, func(i, j int) bool {
+		a, b := dst[i], dst[j]
+		if s.CT[a] != s.CT[b] {
+			return s.CT[a] < s.CT[b]
+		}
+		return a < b
+	})
+	return dst
+}
+
+// Utilization is the fraction of machine time spent computing between
+// t=0 and the makespan: Σ_m (CT[m] − ready[m]) / (machines · makespan).
+// 1.0 means a perfectly packed schedule; low values flag idle machines.
+// It returns 0 for an empty schedule.
+func (s *Schedule) Utilization() float64 {
+	mk := s.Makespan()
+	if mk <= 0 {
+		return 0
+	}
+	busy := 0.0
+	for m, ct := range s.CT {
+		busy += ct - s.Inst.Ready[m]
+	}
+	return busy / (float64(s.Inst.M) * mk)
+}
+
+// ImbalanceCV is the coefficient of variation of machine completion
+// times — 0 for perfectly balanced load.
+func (s *Schedule) ImbalanceCV() float64 {
+	mean := 0.0
+	for _, ct := range s.CT {
+		mean += ct
+	}
+	mean /= float64(len(s.CT))
+	if mean == 0 {
+		return 0
+	}
+	ss := 0.0
+	for _, ct := range s.CT {
+		d := ct - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(s.CT))) / mean
+}
+
+// String renders a compact human-readable summary.
+func (s *Schedule) String() string {
+	return fmt.Sprintf("schedule{%s, makespan=%.2f}", s.Inst.Name, s.Makespan())
+}

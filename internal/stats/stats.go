@@ -1,0 +1,273 @@
+// Package stats provides the descriptive statistics and significance
+// machinery behind the paper's evaluation: means over replicated runs
+// (Table 2), evaluation-based speedup (Eq. 5, Fig. 4), notched box-plot
+// summaries whose non-overlapping notches imply a 95 % median difference
+// (Fig. 5), and the Mann-Whitney/Wilcoxon rank-sum test used to state
+// "tpx/10 performs better than opx/5 with statistical significance".
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean; NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator); 0 for
+// fewer than two samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Min and Max return the extremes; NaN for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value; NaN for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (R type-7, the convention of
+// MATLAB's boxplot, which the paper's figures use). xs need not be
+// sorted. NaN for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median is the 0.5 quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// BoxPlot is the five-number summary plus the 95 % median notch interval
+// of a sample, as drawn by a MATLAB-style notched box plot.
+type BoxPlot struct {
+	N                        int
+	Min, Q1, Median, Q3, Max float64
+	// NotchLo and NotchHi bound the 95 % confidence interval of the
+	// median: median ± 1.57·IQR/√n. When two boxes' notches do not
+	// overlap, their true medians differ at ~95 % confidence — the
+	// criterion §4.2 applies to Fig. 5.
+	NotchLo, NotchHi float64
+	// WhiskerLo and WhiskerHi are the most extreme points within
+	// 1.5·IQR of the quartiles; values beyond them are Outliers.
+	WhiskerLo, WhiskerHi float64
+	Outliers             []float64
+}
+
+// NewBoxPlot summarizes the sample. It returns an error for empty input.
+func NewBoxPlot(xs []float64) (BoxPlot, error) {
+	if len(xs) == 0 {
+		return BoxPlot{}, fmt.Errorf("stats: box plot of empty sample")
+	}
+	b := BoxPlot{
+		N:      len(xs),
+		Min:    Min(xs),
+		Q1:     Quantile(xs, 0.25),
+		Median: Median(xs),
+		Q3:     Quantile(xs, 0.75),
+		Max:    Max(xs),
+	}
+	iqr := b.Q3 - b.Q1
+	notch := 1.57 * iqr / math.Sqrt(float64(len(xs)))
+	b.NotchLo, b.NotchHi = b.Median-notch, b.Median+notch
+	loFence, hiFence := b.Q1-1.5*iqr, b.Q3+1.5*iqr
+	b.WhiskerLo, b.WhiskerHi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if x < loFence || x > hiFence {
+			b.Outliers = append(b.Outliers, x)
+			continue
+		}
+		if x < b.WhiskerLo {
+			b.WhiskerLo = x
+		}
+		if x > b.WhiskerHi {
+			b.WhiskerHi = x
+		}
+	}
+	// All points can be outliers only in degenerate cases; fall back to
+	// the quartiles so the box still renders.
+	if math.IsInf(b.WhiskerLo, 1) {
+		b.WhiskerLo, b.WhiskerHi = b.Q1, b.Q3
+	}
+	sort.Float64s(b.Outliers)
+	return b, nil
+}
+
+// NotchesOverlap reports whether the 95 % median notches of two box
+// plots overlap. Non-overlap is the paper's visual significance test.
+func NotchesOverlap(a, b BoxPlot) bool {
+	return a.NotchLo <= b.NotchHi && b.NotchLo <= a.NotchHi
+}
+
+// RankSum performs the two-sided Mann-Whitney/Wilcoxon rank-sum test
+// with the normal approximation (with tie correction and continuity
+// correction). It returns the U statistic for xs and the two-sided
+// p-value. Sample sizes of at least ~8 make the approximation sound —
+// the paper's experiments use 100 runs per configuration.
+func RankSum(xs, ys []float64) (u float64, p float64, err error) {
+	n1, n2 := len(xs), len(ys)
+	if n1 == 0 || n2 == 0 {
+		return 0, 0, fmt.Errorf("stats: rank-sum with empty sample")
+	}
+	type obs struct {
+		v     float64
+		group int
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range xs {
+		all = append(all, obs{v, 0})
+	}
+	for _, v := range ys {
+		all = append(all, obs{v, 1})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Assign mid-ranks to ties and accumulate the tie correction term.
+	ranks := make([]float64, len(all))
+	tieTerm := 0.0
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+	r1 := 0.0
+	for i, o := range all {
+		if o.group == 0 {
+			r1 += ranks[i]
+		}
+	}
+	u1 := r1 - float64(n1)*float64(n1+1)/2
+	mu := float64(n1) * float64(n2) / 2
+	n := float64(n1 + n2)
+	sigma2 := float64(n1) * float64(n2) / 12 * ((n + 1) - tieTerm/(n*(n-1)))
+	if sigma2 <= 0 {
+		// All observations identical: no evidence of difference.
+		return u1, 1, nil
+	}
+	z := u1 - mu
+	// Continuity correction toward the mean.
+	switch {
+	case z > 0.5:
+		z -= 0.5
+	case z < -0.5:
+		z += 0.5
+	default:
+		z = 0
+	}
+	z /= math.Sqrt(sigma2)
+	p = 2 * normalSF(math.Abs(z))
+	if p > 1 {
+		p = 1
+	}
+	return u1, p, nil
+}
+
+// normalSF is the standard normal survival function 1 - Φ(x).
+func normalSF(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}
+
+// SignificantlyLess reports whether xs is stochastically smaller than ys
+// at the given significance level: a two-sided rank-sum p below alpha
+// with the xs median on the smaller side. This is the package's
+// formalization of "A performs better than B with statistical
+// significance" for minimized makespans.
+func SignificantlyLess(xs, ys []float64, alpha float64) (bool, error) {
+	_, p, err := RankSum(xs, ys)
+	if err != nil {
+		return false, err
+	}
+	return p < alpha && Median(xs) < Median(ys), nil
+}
+
+// Speedup is the paper's Eq. 5: the ratio of evaluations completed with n
+// threads to evaluations completed with one thread in the same wall
+// time, expressed as in Fig. 4 (percent, so 100 means parity).
+func Speedup(evalsN, evals1 float64) float64 {
+	if evals1 == 0 {
+		return math.NaN()
+	}
+	return evalsN / evals1 * 100
+}
+
+// Summary is a compact per-sample report used by the experiment tables.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Median, Max float64
+}
+
+// Summarize computes a Summary.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Std:    StdDev(xs),
+		Min:    Min(xs),
+		Median: Median(xs),
+		Max:    Max(xs),
+	}
+}

@@ -1,0 +1,335 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"gridsched/internal/rng"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("mean %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("mean of empty not NaN")
+	}
+	if got := Mean([]float64{7}); got != 7 {
+		t.Fatalf("singleton mean %v", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	// Sample std of {2,4,4,4,5,5,7,9} with n-1 is ~2.138.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := StdDev(xs); !almost(got, 2.13809, 1e-4) {
+		t.Fatalf("std %v", got)
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("singleton std not 0")
+	}
+	if StdDev([]float64{3, 3, 3}) != 0 {
+		t.Fatal("constant sample std not 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("min/max %v %v", Min(xs), Max(xs))
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Fatal("empty extremes not NaN")
+	}
+}
+
+func TestQuantileType7(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	// R type-7: quantile(0.25) = 1.75, median = 2.5, quantile(0.75) = 3.25.
+	if got := Quantile(xs, 0.25); !almost(got, 1.75, 1e-12) {
+		t.Fatalf("q1 %v", got)
+	}
+	if got := Median(xs); !almost(got, 2.5, 1e-12) {
+		t.Fatalf("median %v", got)
+	}
+	if got := Quantile(xs, 0.75); !almost(got, 3.25, 1e-12) {
+		t.Fatalf("q3 %v", got)
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 %v", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Fatalf("q1.0 %v", got)
+	}
+	if !math.IsNaN(Quantile(xs, -0.1)) || !math.IsNaN(Quantile(xs, 1.1)) {
+		t.Fatal("out-of-range q not NaN")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile not NaN")
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile sorted the caller's slice")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	r := rng.New(1)
+	f := func(seed uint64) bool {
+		rr := rng.New(seed)
+		n := rr.Intn(50) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rr.Float64() * 100
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+func TestBoxPlotBasic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	b, err := NewBoxPlot(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N != 10 || b.Min != 1 || b.Max != 10 {
+		t.Fatalf("summary %+v", b)
+	}
+	if !almost(b.Median, 5.5, 1e-12) {
+		t.Fatalf("median %v", b.Median)
+	}
+	if b.NotchLo >= b.Median || b.NotchHi <= b.Median {
+		t.Fatal("notch does not bracket the median")
+	}
+	if len(b.Outliers) != 0 {
+		t.Fatalf("unexpected outliers %v", b.Outliers)
+	}
+	if b.WhiskerLo != 1 || b.WhiskerHi != 10 {
+		t.Fatalf("whiskers %v %v", b.WhiskerLo, b.WhiskerHi)
+	}
+}
+
+func TestBoxPlotOutliers(t *testing.T) {
+	xs := []float64{10, 11, 12, 13, 14, 15, 16, 100}
+	b, err := NewBoxPlot(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Fatalf("outliers %v", b.Outliers)
+	}
+	if b.WhiskerHi != 16 {
+		t.Fatalf("upper whisker %v includes the outlier", b.WhiskerHi)
+	}
+}
+
+func TestBoxPlotEmpty(t *testing.T) {
+	if _, err := NewBoxPlot(nil); err == nil {
+		t.Fatal("accepted empty sample")
+	}
+}
+
+func TestBoxPlotConstantSample(t *testing.T) {
+	b, err := NewBoxPlot([]float64{4, 4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Median != 4 || b.NotchLo != 4 || b.NotchHi != 4 {
+		t.Fatalf("constant sample summary %+v", b)
+	}
+}
+
+func TestNotchesOverlap(t *testing.T) {
+	mk := func(vals []float64) BoxPlot {
+		b, err := NewBoxPlot(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	// Two clearly separated samples.
+	lo := make([]float64, 50)
+	hi := make([]float64, 50)
+	r := rng.New(3)
+	for i := range lo {
+		lo[i] = 10 + r.Float64()
+		hi[i] = 20 + r.Float64()
+	}
+	if NotchesOverlap(mk(lo), mk(hi)) {
+		t.Fatal("separated samples report overlapping notches")
+	}
+	// A sample overlaps itself.
+	if !NotchesOverlap(mk(lo), mk(lo)) {
+		t.Fatal("identical samples report disjoint notches")
+	}
+}
+
+func TestRankSumDetectsShift(t *testing.T) {
+	r := rng.New(4)
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = r.Float64()
+		ys[i] = r.Float64() + 0.5 // strong shift
+	}
+	_, p, err := RankSum(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Fatalf("p = %v for a 0.5 shift over 100 samples", p)
+	}
+	less, err := SignificantlyLess(xs, ys, 0.05)
+	if err != nil || !less {
+		t.Fatalf("SignificantlyLess = %v, %v", less, err)
+	}
+	// And not the other way around.
+	less, err = SignificantlyLess(ys, xs, 0.05)
+	if err != nil || less {
+		t.Fatal("reverse direction claimed significant")
+	}
+}
+
+func TestRankSumNullDistribution(t *testing.T) {
+	// Same distribution: p should usually be non-significant. Repeat a
+	// few times and require most p-values above 0.01.
+	r := rng.New(5)
+	rejections := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 40)
+		ys := make([]float64, 40)
+		for i := range xs {
+			xs[i] = r.Float64()
+			ys[i] = r.Float64()
+		}
+		_, p, err := RankSum(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 0.01 {
+			rejections++
+		}
+	}
+	if rejections > 5 { // expect ~0.5 rejections at the 1% level
+		t.Fatalf("null rejected %d/%d times at alpha=0.01", rejections, trials)
+	}
+}
+
+func TestRankSumTies(t *testing.T) {
+	// Heavily tied data must not panic and must stay calibrated.
+	xs := []float64{1, 1, 1, 2, 2, 3}
+	ys := []float64{1, 2, 2, 2, 3, 3}
+	_, p, err := RankSum(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.05 {
+		t.Fatalf("nearly identical tied samples called significant (p=%v)", p)
+	}
+	// All values identical.
+	_, p, err = RankSum([]float64{5, 5, 5}, []float64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Fatalf("identical constant samples p=%v, want 1", p)
+	}
+}
+
+func TestRankSumEmpty(t *testing.T) {
+	if _, _, err := RankSum(nil, []float64{1}); err == nil {
+		t.Fatal("accepted empty sample")
+	}
+}
+
+func TestRankSumSymmetryProperty(t *testing.T) {
+	// U1 + U2 = n1*n2.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n1, n2 := r.Intn(20)+2, r.Intn(20)+2
+		xs := make([]float64, n1)
+		ys := make([]float64, n2)
+		for i := range xs {
+			xs[i] = math.Floor(r.Float64() * 10) // induce ties
+		}
+		for i := range ys {
+			ys[i] = math.Floor(r.Float64() * 10)
+		}
+		u1, p1, err1 := RankSum(xs, ys)
+		u2, p2, err2 := RankSum(ys, xs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almost(u1+u2, float64(n1*n2), 1e-6) && almost(p1, p2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(200, 100); got != 200 {
+		t.Fatalf("speedup %v, want 200", got)
+	}
+	if got := Speedup(80, 100); got != 80 {
+		t.Fatalf("speedup %v, want 80", got)
+	}
+	if !math.IsNaN(Speedup(10, 0)) {
+		t.Fatal("division by zero not NaN")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 || s.Median != 2 {
+		t.Fatalf("summary %+v", s)
+	}
+}
+
+func TestNormalSFKnownValues(t *testing.T) {
+	// Φ̄(0) = 0.5, Φ̄(1.96) ≈ 0.025.
+	if got := normalSF(0); !almost(got, 0.5, 1e-12) {
+		t.Fatalf("sf(0) = %v", got)
+	}
+	if got := normalSF(1.959964); !almost(got, 0.025, 1e-4) {
+		t.Fatalf("sf(1.96) = %v", got)
+	}
+	if got := normalSF(5); got > 3e-7 {
+		t.Fatalf("sf(5) = %v too large", got)
+	}
+}
+
+func TestBoxPlotOutliersSorted(t *testing.T) {
+	xs := []float64{10, 11, 12, 13, 14, 15, 16, 200, -100}
+	b, err := NewBoxPlot(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.Float64sAreSorted(b.Outliers) {
+		t.Fatalf("outliers unsorted: %v", b.Outliers)
+	}
+	if len(b.Outliers) != 2 {
+		t.Fatalf("outliers %v", b.Outliers)
+	}
+}

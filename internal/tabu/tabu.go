@@ -1,0 +1,139 @@
+// Package tabu implements a short tabu search over the task-move
+// neighborhood of a schedule. It is the "local tabu hook" (LTH) used by
+// the cMA+LTH comparator of Table 2 (Xhafa, Alba, Dorronsoro & Duran,
+// 2008): a bounded tabu run applied to each offspring of a cellular
+// memetic algorithm.
+package tabu
+
+import (
+	"fmt"
+
+	"gridsched/internal/rng"
+	"gridsched/internal/schedule"
+)
+
+// Search is a configured tabu search; it satisfies operators.LocalSearch
+// so it can slot into any of the GA engines in place of H2LL.
+type Search struct {
+	// MaxIters bounds the number of move applications (default 20).
+	MaxIters int
+	// Tenure is how many iterations a just-moved task stays tabu
+	// (default 7).
+	Tenure int
+	// CandidateTasks caps how many tasks from the makespan machine are
+	// examined per iteration (default 8); each is scored against every
+	// machine.
+	CandidateTasks int
+}
+
+// Name implements operators.LocalSearch.
+func (ts Search) Name() string { return fmt.Sprintf("tabu/%d", ts.maxIters()) }
+
+func (ts Search) maxIters() int {
+	if ts.MaxIters <= 0 {
+		return 20
+	}
+	return ts.MaxIters
+}
+
+func (ts Search) tenure() int {
+	if ts.Tenure <= 0 {
+		return 7
+	}
+	return ts.Tenure
+}
+
+func (ts Search) candidateTasks() int {
+	if ts.CandidateTasks <= 0 {
+		return 8
+	}
+	return ts.CandidateTasks
+}
+
+// Apply runs the tabu search in place and returns the number of applied
+// moves that improved the best-known makespan. Unlike a pure descent,
+// tabu search accepts worsening moves to escape local optima; the best
+// schedule seen is restored before returning, so Apply never degrades
+// its input.
+func (ts Search) Apply(s *schedule.Schedule, r *rng.Rand) int {
+	n := s.Inst.T
+	m := s.Inst.M
+	if m < 2 {
+		return 0
+	}
+	tabuUntil := make([]int, n) // iteration until which a task is tabu
+	best := s.Clone()
+	bestFit := s.Makespan()
+	improvements := 0
+	taskBuf := make([]int, 0, n)
+
+	for it := 1; it <= ts.maxIters(); it++ {
+		worst, worstCT := s.MakespanMachine()
+		taskBuf = s.TasksOn(worst, taskBuf[:0])
+		if len(taskBuf) == 0 {
+			break
+		}
+		// Sample up to CandidateTasks tasks from the makespan machine.
+		r.Shuffle(len(taskBuf), func(i, j int) { taskBuf[i], taskBuf[j] = taskBuf[j], taskBuf[i] })
+		cand := taskBuf
+		if len(cand) > ts.candidateTasks() {
+			cand = cand[:ts.candidateTasks()]
+		}
+
+		// Pick the move minimizing the new completion time of the
+		// destination machine among non-tabu moves; a tabu move is
+		// allowed only under the aspiration criterion (it would beat the
+		// best makespan seen so far).
+		bestTask, bestMac := -1, -1
+		bestScore := worstCT // any move below the makespan is attractive
+		aspired := false
+		for _, task := range cand {
+			tabu := tabuUntil[task] >= it
+			for mac := 0; mac < m; mac++ {
+				if mac == worst {
+					continue
+				}
+				score := s.CT[mac] + s.Inst.ETC(task, mac)
+				if tabu {
+					// Aspiration: accept a tabu move only if it yields a
+					// schedule strictly better than the global best.
+					if score >= bestFit {
+						continue
+					}
+					if score < bestScore || !aspired && bestTask < 0 {
+						bestTask, bestMac, bestScore, aspired = task, mac, score, true
+					}
+					continue
+				}
+				if score < bestScore {
+					bestTask, bestMac, bestScore = task, mac, score
+				}
+			}
+		}
+		if bestTask < 0 {
+			// No admissible improving move: diversify by relocating a
+			// random candidate task to a random machine (still respecting
+			// the tabu list when possible).
+			task := cand[0]
+			mac := r.Intn(m)
+			for mac == worst {
+				mac = r.Intn(m)
+			}
+			s.Move(task, mac)
+			tabuUntil[task] = it + ts.tenure()
+			continue
+		}
+		s.Move(bestTask, bestMac)
+		tabuUntil[bestTask] = it + ts.tenure()
+		if fit := s.Makespan(); fit < bestFit {
+			bestFit = fit
+			best.CopyFrom(s)
+			improvements++
+		}
+	}
+	// Restore the incumbent: tabu search may end on a worsening move.
+	if s.Makespan() > bestFit {
+		s.CopyFrom(best)
+	}
+	return improvements
+}

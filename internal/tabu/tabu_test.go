@@ -1,0 +1,127 @@
+package tabu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gridsched/internal/etc"
+	"gridsched/internal/operators"
+	"gridsched/internal/rng"
+	"gridsched/internal/schedule"
+)
+
+func testInstance(t testing.TB, seed uint64) *etc.Instance {
+	t.Helper()
+	in, err := etc.Generate(etc.GenSpec{
+		Class: etc.Class{Consistency: etc.Inconsistent, TaskHet: etc.High, MachineHet: etc.High},
+		Tasks: 96, Machines: 12, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestSearchIsLocalSearch(t *testing.T) {
+	var _ operators.LocalSearch = Search{}
+}
+
+func TestApplyNeverWorsens(t *testing.T) {
+	in := testInstance(t, 1)
+	r := rng.New(2)
+	for trial := 0; trial < 25; trial++ {
+		s := schedule.NewRandom(in, r)
+		before := s.Makespan()
+		Search{MaxIters: 30}.Apply(s, r)
+		if s.Makespan() > before+1e-9 {
+			t.Fatalf("tabu worsened makespan %v -> %v", before, s.Makespan())
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestApplyImprovesUnbalanced(t *testing.T) {
+	in := testInstance(t, 3)
+	s := schedule.New(in)
+	for task := 0; task < in.T; task++ {
+		s.Assign(task, 0)
+	}
+	r := rng.New(4)
+	before := s.Makespan()
+	if impr := (Search{MaxIters: 50}).Apply(s, r); impr == 0 {
+		t.Fatal("tabu found no improvement on a fully unbalanced schedule")
+	}
+	if s.Makespan() >= before {
+		t.Fatalf("tabu failed to improve: %v -> %v", before, s.Makespan())
+	}
+}
+
+func TestApplyEscapesWhereDescentStalls(t *testing.T) {
+	// After H2LL converges to a local optimum, tabu with many iterations
+	// should at least match it (never worse) starting from the same
+	// point.
+	in := testInstance(t, 5)
+	r := rng.New(6)
+	s := schedule.NewRandom(in, r)
+	operators.H2LL{Iterations: 300}.Apply(s, r)
+	stalled := s.Makespan()
+	Search{MaxIters: 200, Tenure: 5}.Apply(s, r)
+	if s.Makespan() > stalled+1e-9 {
+		t.Fatalf("tabu left a worse schedule than the descent local optimum")
+	}
+}
+
+func TestApplySingleMachineNoop(t *testing.T) {
+	in, err := etc.New("one", 4, 1, []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	s := schedule.NewRandom(in, r)
+	if moves := (Search{}).Apply(s, r); moves != 0 {
+		t.Fatal("tabu moved tasks with one machine")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	s := Search{}
+	if s.maxIters() != 20 || s.tenure() != 7 || s.candidateTasks() != 8 {
+		t.Fatalf("defaults %d/%d/%d", s.maxIters(), s.tenure(), s.candidateTasks())
+	}
+	if s.Name() != "tabu/20" {
+		t.Fatalf("name %q", s.Name())
+	}
+	c := Search{MaxIters: 5, Tenure: 3, CandidateTasks: 2}
+	if c.maxIters() != 5 || c.tenure() != 3 || c.candidateTasks() != 2 {
+		t.Fatal("explicit config ignored")
+	}
+}
+
+// Property: for any seed and iteration budget, tabu preserves
+// completeness and the CT invariant and never returns a worse schedule.
+func TestApplyProperty(t *testing.T) {
+	in := testInstance(t, 8)
+	f := func(seed uint64, iters uint8) bool {
+		r := rng.New(seed)
+		s := schedule.NewRandom(in, r)
+		before := s.Makespan()
+		Search{MaxIters: int(iters%60) + 1}.Apply(s, r)
+		return s.Complete() && s.Validate() == nil && s.Makespan() <= before+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTabu20(b *testing.B) {
+	in := testInstance(b, 1)
+	r := rng.New(1)
+	s := schedule.NewRandom(in, r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Search{MaxIters: 20}.Apply(s, r)
+	}
+}

@@ -1,0 +1,191 @@
+// Package textplot renders the paper's figures as plain-text charts: a
+// multi-series line chart for Fig. 4 (speedup vs threads) and Fig. 6
+// (mean makespan vs generations), and notched horizontal box plots for
+// Fig. 5 (operator / local-search configurations per instance).
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"gridsched/internal/stats"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// markers cycles per series; chosen to stay readable in any font.
+var markers = []byte{'*', '+', 'x', 'o', '#', '@', '%', '&'}
+
+// LineChart renders series on a width×height character canvas with
+// y-axis labels, an x-axis ruler and a marker legend. Series with
+// mismatched X/Y lengths or no points are skipped.
+func LineChart(title string, series []Series, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	var pts int
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			continue
+		}
+		for i := range s.X {
+			pts++
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if pts == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	canvas := make([][]byte, height)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, mark byte) {
+		cx := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		cy := int(math.Round((y - ymin) / (ymax - ymin) * float64(height-1)))
+		row := height - 1 - cy
+		if row >= 0 && row < height && cx >= 0 && cx < width {
+			canvas[row][cx] = mark
+		}
+	}
+	for si, s := range series {
+		if len(s.X) != len(s.Y) || len(s.X) == 0 {
+			continue
+		}
+		mark := markers[si%len(markers)]
+		// Dense linear interpolation between consecutive points keeps
+		// lines visually connected on the character grid.
+		for i := 1; i < len(s.X); i++ {
+			steps := width * 2
+			for k := 0; k <= steps; k++ {
+				f := float64(k) / float64(steps)
+				plot(s.X[i-1]+(s.X[i]-s.X[i-1])*f, s.Y[i-1]+(s.Y[i]-s.Y[i-1])*f, mark)
+			}
+		}
+		for i := range s.X {
+			plot(s.X[i], s.Y[i], mark)
+		}
+	}
+
+	labelW := 12
+	for i, row := range canvas {
+		yVal := ymax - (ymax-ymin)*float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%*s |%s\n", labelW, trimNum(yVal), string(row))
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", labelW, "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%*s %s%*s\n", labelW, trimNum(xmin), "", width-len(trimNum(xmin)), trimNum(xmax))
+	for si, s := range series {
+		fmt.Fprintf(&b, "%*s %c %s\n", labelW, "", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// trimNum formats a float compactly for axis labels.
+func trimNum(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6 || (av < 1e-3 && av > 0):
+		return fmt.Sprintf("%.3g", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// Box is a labelled box-plot row.
+type Box struct {
+	Label string
+	Plot  stats.BoxPlot
+}
+
+// BoxPlots renders notched horizontal box plots on a shared scale:
+//
+//	label |---(==#==)---|  o
+//
+// where '-' spans whisker to whisker, '=' the interquartile box, '(' ')'
+// the 95 % median notch bounds, '#' the median and 'o' outliers. Two
+// rows whose '(' ')' intervals do not overlap differ significantly —
+// §4.2's reading of Fig. 5.
+func BoxPlots(title string, boxes []Box, width int) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if len(boxes) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if width < 30 {
+		width = 30
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	labelW := 0
+	for _, bx := range boxes {
+		lo = math.Min(lo, math.Min(bx.Plot.Min, bx.Plot.NotchLo))
+		hi = math.Max(hi, math.Max(bx.Plot.Max, bx.Plot.NotchHi))
+		if len(bx.Label) > labelW {
+			labelW = len(bx.Label)
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	scale := func(v float64) int {
+		c := int(math.Round((v - lo) / (hi - lo) * float64(width-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c > width-1 {
+			c = width - 1
+		}
+		return c
+	}
+	for _, bx := range boxes {
+		row := []byte(strings.Repeat(" ", width))
+		p := bx.Plot
+		for c := scale(p.WhiskerLo); c <= scale(p.WhiskerHi); c++ {
+			row[c] = '-'
+		}
+		for c := scale(p.Q1); c <= scale(p.Q3); c++ {
+			row[c] = '='
+		}
+		row[scale(p.WhiskerLo)] = '|'
+		row[scale(p.WhiskerHi)] = '|'
+		row[scale(p.NotchLo)] = '('
+		row[scale(p.NotchHi)] = ')'
+		row[scale(p.Median)] = '#'
+		for _, o := range p.Outliers {
+			row[scale(o)] = 'o'
+		}
+		fmt.Fprintf(&b, "%-*s %s\n", labelW, bx.Label, string(row))
+	}
+	loS, hiS := trimNum(lo), trimNum(hi)
+	fmt.Fprintf(&b, "%-*s %s%*s\n", labelW, "", loS, width-len(loS), hiS)
+	return b.String()
+}

@@ -1,0 +1,133 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+
+	"gridsched/internal/stats"
+)
+
+func TestLineChartBasic(t *testing.T) {
+	out := LineChart("Speedup", []Series{
+		{Name: "0 iteration", X: []float64{1, 2, 3, 4}, Y: []float64{100, 90, 80, 70}},
+		{Name: "10 iterations", X: []float64{1, 2, 3, 4}, Y: []float64{100, 150, 190, 190}},
+	}, 60, 15)
+	if !strings.Contains(out, "Speedup") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "0 iteration") || !strings.Contains(out, "10 iterations") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("series markers missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 15 canvas rows + axis + x labels + 2 legend entries.
+	if len(lines) != 1+15+1+1+2 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	out := LineChart("empty", nil, 40, 10)
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart output %q", out)
+	}
+	// Mismatched X/Y lengths are skipped, not rendered.
+	out = LineChart("bad", []Series{{Name: "bad", X: []float64{1}, Y: nil}}, 40, 10)
+	if !strings.Contains(out, "(no data)") {
+		t.Fatal("mismatched series not skipped")
+	}
+}
+
+func TestLineChartConstantSeries(t *testing.T) {
+	out := LineChart("flat", []Series{{Name: "flat", X: []float64{1, 2}, Y: []float64{5, 5}}}, 40, 8)
+	if !strings.Contains(out, "*") {
+		t.Fatal("constant series not drawn")
+	}
+}
+
+func TestLineChartSinglePoint(t *testing.T) {
+	out := LineChart("dot", []Series{{Name: "p", X: []float64{3}, Y: []float64{7}}}, 40, 8)
+	if !strings.Contains(out, "*") {
+		t.Fatal("single point not drawn")
+	}
+}
+
+func TestLineChartMinimumDimensions(t *testing.T) {
+	out := LineChart("tiny", []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}}, 1, 1)
+	if len(out) == 0 {
+		t.Fatal("no output at clamped dimensions")
+	}
+}
+
+func mkBox(t *testing.T, vals ...float64) stats.BoxPlot {
+	t.Helper()
+	b, err := stats.NewBoxPlot(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBoxPlotsBasic(t *testing.T) {
+	out := BoxPlots("Instance u_c_hihi.0", []Box{
+		{Label: "opx/5", Plot: mkBox(t, 10, 11, 12, 13, 14, 15, 16)},
+		{Label: "tpx/10", Plot: mkBox(t, 5, 6, 7, 8, 9, 10, 11)},
+	}, 60)
+	for _, want := range []string{"opx/5", "tpx/10", "#", "=", "(", ")", "|"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("box plot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBoxPlotsOutliersRendered(t *testing.T) {
+	out := BoxPlots("", []Box{
+		{Label: "x", Plot: mkBox(t, 10, 11, 12, 13, 14, 15, 16, 100)},
+	}, 60)
+	if !strings.Contains(out, "o") {
+		t.Fatalf("outlier marker missing:\n%s", out)
+	}
+}
+
+func TestBoxPlotsEmpty(t *testing.T) {
+	if !strings.Contains(BoxPlots("t", nil, 40), "(no data)") {
+		t.Fatal("empty box plot output wrong")
+	}
+}
+
+func TestBoxPlotsConstantSample(t *testing.T) {
+	out := BoxPlots("", []Box{{Label: "const", Plot: mkBox(t, 3, 3, 3)}}, 40)
+	if !strings.Contains(out, "#") {
+		t.Fatalf("constant sample box missing median:\n%s", out)
+	}
+}
+
+func TestBoxPlotsSharedScale(t *testing.T) {
+	// The median marker of the larger sample must sit to the right of
+	// the smaller sample's median on the shared scale.
+	out := BoxPlots("", []Box{
+		{Label: "lo", Plot: mkBox(t, 1, 2, 3)},
+		{Label: "hi", Plot: mkBox(t, 100, 101, 102)},
+	}, 60)
+	lines := strings.Split(out, "\n")
+	loCol := strings.IndexByte(lines[0], '#')
+	hiCol := strings.IndexByte(lines[1], '#')
+	if loCol < 0 || hiCol < 0 || loCol >= hiCol {
+		t.Fatalf("medians not on a shared ascending scale:\n%s", out)
+	}
+}
+
+func TestTrimNum(t *testing.T) {
+	cases := map[float64]string{
+		1500000: "1.5e+06",
+		250:     "250",
+		2.5:     "2.50",
+	}
+	for v, want := range cases {
+		if got := trimNum(v); got != want {
+			t.Fatalf("trimNum(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
