@@ -1,12 +1,15 @@
 // Command heuristics runs the classic constructive mapping heuristics
 // (Min-min, Max-min, Sufferage, MCT, MET, OLB, LJFR-SJFR) on a benchmark
 // instance and prints a ranked comparison — the fast baselines the paper
-// positions against its metaheuristic.
+// positions against its metaheuristic. The heuristics are resolved
+// through the unified solver registry, where they are registered as
+// zero-budget solvers.
 //
 // Usage:
 //
 //	heuristics -instance u_i_hihi.0
 //	heuristics -file my.etc -only minmin,sufferage
+//	heuristics -list
 package main
 
 import (
@@ -28,8 +31,16 @@ func main() {
 		instName = flag.String("instance", "u_c_hihi.0", "benchmark instance name")
 		file     = flag.String("file", "", "load instance from HCSP file instead of generating")
 		only     = flag.String("only", "", "comma-separated subset of heuristics to run")
+		list     = flag.Bool("list", false, "list every registered solver (heuristics and metaheuristics) and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		for _, s := range gridsched.Solvers() {
+			fmt.Printf("  %-14s %s\n", s.Name, s.Description)
+		}
+		return
+	}
 
 	var inst *gridsched.Instance
 	var err error
@@ -47,9 +58,20 @@ func main() {
 		log.Fatal(err)
 	}
 
+	valid := map[string]bool{}
+	for _, name := range gridsched.HeuristicNames() {
+		valid[name] = true
+	}
 	names := gridsched.HeuristicNames()
 	if *only != "" {
 		names = strings.Split(*only, ",")
+		for i, name := range names {
+			names[i] = strings.TrimSpace(name)
+			if !valid[names[i]] {
+				log.Fatalf("unknown heuristic %q (have: %s)",
+					names[i], strings.Join(gridsched.HeuristicNames(), ", "))
+			}
+		}
 	}
 
 	type row struct {
@@ -59,12 +81,12 @@ func main() {
 	}
 	rows := make([]row, 0, len(names))
 	for _, name := range names {
-		h, err := gridsched.HeuristicByName(strings.TrimSpace(name))
+		// Zero-budget solvers: a single construction pass is the run.
+		res, err := gridsched.Solve(name, inst, gridsched.SolveOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		s := h(inst)
-		rows = append(rows, row{name: name, makespan: s.Makespan(), flowtime: s.Flowtime()})
+		rows = append(rows, row{name: name, makespan: res.Best.Makespan(), flowtime: res.Best.Flowtime()})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].makespan < rows[j].makespan })
 

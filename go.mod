@@ -1,0 +1,3 @@
+module gridsched
+
+go 1.24

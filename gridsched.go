@@ -20,11 +20,23 @@
 //	res, _ := gridsched.Run(inst, p)
 //	fmt.Println("makespan:", res.BestFitness)
 //
+// Every algorithm also registers itself with the unified solver layer,
+// so the whole family is reachable through one dispatch surface:
+//
+//	res, _ := gridsched.Solve("pa-cga", inst, gridsched.SolveOptions{
+//		Budget: gridsched.Budget{MaxEvaluations: 100000},
+//	})
+//
+// SolverNames lists what is available (the cellular GAs, the literature
+// baselines, the island model, standalone tabu search, and the seven
+// constructive heuristics as zero-budget solvers).
+//
 // The subpackages under internal/ hold the implementation; this package
 // is the supported public surface.
 package gridsched
 
 import (
+	"context"
 	"io"
 
 	"gridsched/internal/baselines"
@@ -37,6 +49,7 @@ import (
 	"gridsched/internal/operators"
 	"gridsched/internal/rng"
 	"gridsched/internal/schedule"
+	"gridsched/internal/solver"
 	"gridsched/internal/stats"
 	"gridsched/internal/topology"
 )
@@ -107,6 +120,81 @@ func NewSchedule(in *Instance) *Schedule { return schedule.New(in) }
 // RandomSchedule returns a uniformly random complete schedule.
 func RandomSchedule(in *Instance, seed uint64) *Schedule {
 	return schedule.NewRandom(in, rng.New(seed))
+}
+
+// --- Unified solver layer ---
+
+// Solver is the uniform run contract every algorithm in the library
+// implements and registers under a stable name; see SolverNames.
+type Solver = solver.Solver
+
+// Budget bounds a solver run: wall-clock, evaluation and generation
+// limits compose, and the run stops at whichever fires first. The
+// constructive heuristics ignore it (zero-budget solvers).
+type Budget = solver.Budget
+
+// SolverResult is the result shape shared by every solver (identical
+// to Result).
+type SolverResult = solver.Result
+
+// SolveOptions configures a Solve call. The zero value runs the named
+// solver with its registered default configuration — note iterative
+// solvers require at least one Budget bound.
+type SolveOptions struct {
+	// Context cancels the run early when done; nil means Background.
+	Context context.Context
+	// Budget is the stop-condition set.
+	Budget Budget
+	// Seed, when non-zero, reseeds the solver's randomness (each
+	// registered solver defaults to seed 1; deterministic constructive
+	// heuristics ignore it).
+	Seed uint64
+}
+
+// Solve runs the named registered solver — any of the metaheuristics
+// or constructive heuristics — on the instance under one uniform
+// contract. It is the single dispatch surface the CLIs and the
+// experiment harness build on.
+func Solve(name string, inst *Instance, opts SolveOptions) (*SolverResult, error) {
+	s, err := solver.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Seed != 0 {
+		s = solver.WithSeed(s, opts.Seed)
+	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return s.Solve(ctx, inst, opts.Budget)
+}
+
+// LookupSolver resolves a registered solver by name.
+func LookupSolver(name string) (Solver, error) { return solver.Lookup(name) }
+
+// SolverNames lists every registered solver name, sorted.
+func SolverNames() []string { return solver.Names() }
+
+// SolverInfo pairs a registry name with its one-line description.
+type SolverInfo struct {
+	Name        string
+	Description string
+}
+
+// Solvers lists every registered solver with its description, sorted
+// by name — the shared source for CLI listings.
+func Solvers() []SolverInfo {
+	names := solver.Names()
+	infos := make([]SolverInfo, 0, len(names))
+	for _, name := range names {
+		s, err := solver.Lookup(name)
+		if err != nil {
+			continue // unregistered concurrently; skip rather than fail a listing
+		}
+		infos = append(infos, SolverInfo{Name: name, Description: s.Describe()})
+	}
+	return infos
 }
 
 // --- PA-CGA (the paper's algorithm) ---

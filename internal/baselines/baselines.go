@@ -14,6 +14,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"gridsched/internal/operators"
 	"gridsched/internal/rng"
 	"gridsched/internal/schedule"
+	"gridsched/internal/solver"
 	"gridsched/internal/tabu"
 	"gridsched/internal/topology"
 )
@@ -76,6 +78,12 @@ func (c StruggleConfig) withDefaults() StruggleConfig {
 // Struggle runs the Struggle GA and returns a core.Result so all
 // algorithms share one result shape in the harness.
 func Struggle(inst *etc.Instance, cfg StruggleConfig) (*core.Result, error) {
+	return StruggleContext(context.Background(), inst, cfg)
+}
+
+// StruggleContext is Struggle with context cancellation, polled at the
+// shared engine's coarse steady-state granularity.
+func StruggleContext(ctx context.Context, inst *etc.Instance, cfg StruggleConfig) (*core.Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.PopSize < 2 {
 		return nil, fmt.Errorf("baselines: struggle population %d too small", cfg.PopSize)
@@ -84,6 +92,10 @@ func Struggle(inst *etc.Instance, cfg StruggleConfig) (*core.Result, error) {
 		return nil, fmt.Errorf("baselines: struggle needs a stop condition")
 	}
 
+	eng := solver.NewEngine(ctx, solver.Budget{
+		MaxDuration:    cfg.MaxDuration,
+		MaxEvaluations: cfg.MaxEvaluations,
+	})
 	r := rng.New(cfg.Seed)
 	pop := make([]*schedule.Schedule, cfg.PopSize)
 	fit := make([]float64, cfg.PopSize)
@@ -95,14 +107,9 @@ func Struggle(inst *etc.Instance, cfg StruggleConfig) (*core.Result, error) {
 		}
 		fit[i] = pop[i].Makespan()
 	}
-	evals := int64(cfg.PopSize)
+	eng.AddEvals(int64(cfg.PopSize))
 
 	child := schedule.New(inst)
-	t0 := time.Now()
-	var deadline time.Time
-	if cfg.MaxDuration > 0 {
-		deadline = t0.Add(cfg.MaxDuration)
-	}
 	tournament := func() int {
 		best := r.Intn(cfg.PopSize)
 		for k := 1; k < cfg.TournamentK; k++ {
@@ -114,14 +121,11 @@ func Struggle(inst *etc.Instance, cfg StruggleConfig) (*core.Result, error) {
 		return best
 	}
 
-	// Steady state: one offspring per step. The deadline check is cheap
-	// enough to run every iteration here (single thread, no blocks).
-	checkEvery := int64(64)
+	// Steady state: one offspring per step; the shared engine checks
+	// the evaluation bound every step and polls the deadline coarsely.
+	var steps int64
 	for step := int64(0); ; step++ {
-		if cfg.MaxEvaluations > 0 && evals >= cfg.MaxEvaluations {
-			break
-		}
-		if !deadline.IsZero() && step%checkEvery == 0 && !time.Now().Before(deadline) {
+		if eng.StopStep(step) {
 			break
 		}
 		a, b := tournament(), tournament()
@@ -134,7 +138,8 @@ func Struggle(inst *etc.Instance, cfg StruggleConfig) (*core.Result, error) {
 			cfg.Mutation.Mutate(child, r)
 		}
 		cf := child.Makespan()
-		evals++
+		eng.AddEvals(1)
+		steps++
 
 		// Struggle replacement: the offspring competes with the most
 		// similar individual (minimum Hamming distance) and replaces it
@@ -160,8 +165,10 @@ func Struggle(inst *etc.Instance, cfg StruggleConfig) (*core.Result, error) {
 	return &core.Result{
 		Best:        pop[bestIdx].Clone(),
 		BestFitness: fit[bestIdx],
-		Evaluations: evals,
-		Duration:    time.Since(t0),
+		Evaluations: eng.Evals(),
+		Generations: steps,
+		PerThread:   []int64{steps},
+		Duration:    eng.Elapsed(),
 	}, nil
 }
 
@@ -189,6 +196,12 @@ type CMALTHConfig struct {
 // than the published algorithm; these defaults keep the comparison
 // faithful.)
 func CMALTH(inst *etc.Instance, cfg CMALTHConfig) (*core.Result, error) {
+	return CMALTHContext(context.Background(), inst, cfg)
+}
+
+// CMALTHContext is CMALTH with context cancellation, inherited from the
+// synchronous cellular engine underneath.
+func CMALTHContext(ctx context.Context, inst *etc.Instance, cfg CMALTHConfig) (*core.Result, error) {
 	p := core.DefaultParams()
 	if cfg.GridW > 0 {
 		p.GridW = cfg.GridW
@@ -209,5 +222,5 @@ func CMALTH(inst *etc.Instance, cfg CMALTHConfig) (*core.Result, error) {
 	p.DisableMinMinSeed = !cfg.SeedMinMin
 	p.MaxEvaluations = cfg.MaxEvaluations
 	p.MaxDuration = cfg.MaxDuration
-	return core.RunSync(inst, p)
+	return core.RunSyncContext(ctx, inst, p)
 }

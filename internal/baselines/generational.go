@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"gridsched/internal/operators"
 	"gridsched/internal/rng"
 	"gridsched/internal/schedule"
+	"gridsched/internal/solver"
 )
 
 // GenerationalConfig parameterizes the panmictic generational GA — the
@@ -78,6 +80,12 @@ func (c GenerationalConfig) withDefaults() GenerationalConfig {
 
 // Generational runs the panmictic generational GA.
 func Generational(inst *etc.Instance, cfg GenerationalConfig) (*core.Result, error) {
+	return GenerationalContext(context.Background(), inst, cfg)
+}
+
+// GenerationalContext is Generational with context cancellation,
+// checked at generation granularity like the wall-clock deadline.
+func GenerationalContext(ctx context.Context, inst *etc.Instance, cfg GenerationalConfig) (*core.Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.PopSize < 2 {
 		return nil, fmt.Errorf("baselines: generational population %d too small", cfg.PopSize)
@@ -89,6 +97,11 @@ func Generational(inst *etc.Instance, cfg GenerationalConfig) (*core.Result, err
 		return nil, fmt.Errorf("baselines: generational needs a stop condition")
 	}
 
+	eng := solver.NewEngine(ctx, solver.Budget{
+		MaxDuration:    cfg.MaxDuration,
+		MaxEvaluations: cfg.MaxEvaluations,
+		MaxGenerations: cfg.MaxGenerations,
+	})
 	r := rng.New(cfg.Seed)
 	pop := make([]*schedule.Schedule, cfg.PopSize)
 	fit := make([]float64, cfg.PopSize)
@@ -100,7 +113,7 @@ func Generational(inst *etc.Instance, cfg GenerationalConfig) (*core.Result, err
 		}
 		fit[i] = pop[i].Makespan()
 	}
-	evals := int64(cfg.PopSize)
+	eng.AddEvals(int64(cfg.PopSize))
 
 	next := make([]*schedule.Schedule, cfg.PopSize)
 	nextFit := make([]float64, cfg.PopSize)
@@ -111,11 +124,6 @@ func Generational(inst *etc.Instance, cfg GenerationalConfig) (*core.Result, err
 
 	var gens int64
 	var conv, div []float64
-	t0 := time.Now()
-	var deadline time.Time
-	if cfg.MaxDuration > 0 {
-		deadline = t0.Add(cfg.MaxDuration)
-	}
 	tournament := func() int {
 		best := r.Intn(cfg.PopSize)
 		for k := 1; k < cfg.TournamentK; k++ {
@@ -138,10 +146,7 @@ func Generational(inst *etc.Instance, cfg GenerationalConfig) (*core.Result, err
 
 loop:
 	for {
-		if !deadline.IsZero() && !time.Now().Before(deadline) {
-			break
-		}
-		if cfg.MaxGenerations > 0 && gens >= cfg.MaxGenerations {
+		if eng.StopSweep(gens) {
 			break
 		}
 		// Elitism: copy the Elite best individuals unchanged. A single
@@ -162,7 +167,7 @@ loop:
 			nextFit[e] = fit[b]
 		}
 		for slot := cfg.Elite; slot < cfg.PopSize; slot++ {
-			if cfg.MaxEvaluations > 0 && evals >= cfg.MaxEvaluations {
+			if eng.EvalsExhausted() {
 				// Abandon the partial generation; pop is still intact.
 				break loop
 			}
@@ -180,7 +185,7 @@ loop:
 				ls.Apply(child, r)
 			}
 			nextFit[slot] = child.Makespan()
-			evals++
+			eng.AddEvals(1)
 		}
 		pop, next = next, pop
 		fit, nextFit = nextFit, fit
@@ -201,10 +206,10 @@ loop:
 	return &core.Result{
 		Best:        pop[b].Clone(),
 		BestFitness: fit[b],
-		Evaluations: evals,
+		Evaluations: eng.Evals(),
 		Generations: gens,
 		PerThread:   []int64{gens},
-		Duration:    time.Since(t0),
+		Duration:    eng.Elapsed(),
 		Convergence: conv,
 		Diversity:   div,
 	}, nil

@@ -1,0 +1,105 @@
+package baselines
+
+import (
+	"context"
+
+	"gridsched/internal/etc"
+	"gridsched/internal/solver"
+)
+
+// The baseline comparators behind the unified solver interface. Each
+// adapter carries a default configuration mirroring the Table 2 setup
+// (Min-min seed, the published operator rates); the Budget passed to
+// Solve overwrites the config's stop conditions.
+
+// StruggleSolver adapts the Struggle GA.
+type StruggleSolver struct {
+	Config StruggleConfig
+}
+
+// Name implements solver.Solver.
+func (s StruggleSolver) Name() string { return "struggle" }
+
+// Describe implements solver.Solver.
+func (s StruggleSolver) Describe() string {
+	return "Struggle GA of Xhafa (2006): steady-state, replaces the most similar individual"
+}
+
+// WithSeed implements solver.Seeder.
+func (s StruggleSolver) WithSeed(seed uint64) solver.Solver {
+	s.Config.Seed = seed
+	return s
+}
+
+// Solve implements solver.Solver. MaxGenerations is not meaningful for
+// a steady-state GA and is ignored; at least one of MaxDuration and
+// MaxEvaluations must be set.
+func (s StruggleSolver) Solve(ctx context.Context, inst *etc.Instance, b solver.Budget) (*solver.Result, error) {
+	cfg := s.Config
+	cfg.MaxDuration = b.MaxDuration
+	cfg.MaxEvaluations = b.MaxEvaluations
+	return StruggleContext(ctx, inst, cfg)
+}
+
+// CMALTHSolver adapts the cellular memetic algorithm with local tabu
+// hook.
+type CMALTHSolver struct {
+	Config CMALTHConfig
+}
+
+// Name implements solver.Solver.
+func (s CMALTHSolver) Name() string { return "cma-lth" }
+
+// Describe implements solver.Solver.
+func (s CMALTHSolver) Describe() string {
+	return "cMA+LTH of Xhafa et al. (2008): synchronous cellular memetic GA with a tabu hook"
+}
+
+// WithSeed implements solver.Seeder.
+func (s CMALTHSolver) WithSeed(seed uint64) solver.Solver {
+	s.Config.Seed = seed
+	return s
+}
+
+// Solve implements solver.Solver. MaxGenerations is ignored (the cMA
+// config exposes wall-clock and evaluation bounds).
+func (s CMALTHSolver) Solve(ctx context.Context, inst *etc.Instance, b solver.Budget) (*solver.Result, error) {
+	cfg := s.Config
+	cfg.MaxDuration = b.MaxDuration
+	cfg.MaxEvaluations = b.MaxEvaluations
+	return CMALTHContext(ctx, inst, cfg)
+}
+
+// GenerationalSolver adapts the panmictic generational GA.
+type GenerationalSolver struct {
+	Config GenerationalConfig
+}
+
+// Name implements solver.Solver.
+func (s GenerationalSolver) Name() string { return "generational" }
+
+// Describe implements solver.Solver.
+func (s GenerationalSolver) Describe() string {
+	return "panmictic generational GA with elitism (the 'regular GA' of the cGA literature)"
+}
+
+// WithSeed implements solver.Seeder.
+func (s GenerationalSolver) WithSeed(seed uint64) solver.Solver {
+	s.Config.Seed = seed
+	return s
+}
+
+// Solve implements solver.Solver.
+func (s GenerationalSolver) Solve(ctx context.Context, inst *etc.Instance, b solver.Budget) (*solver.Result, error) {
+	cfg := s.Config
+	cfg.MaxDuration = b.MaxDuration
+	cfg.MaxEvaluations = b.MaxEvaluations
+	cfg.MaxGenerations = b.MaxGenerations
+	return GenerationalContext(ctx, inst, cfg)
+}
+
+func init() {
+	solver.Register(StruggleSolver{Config: StruggleConfig{Seed: 1, SeedMinMin: true}})
+	solver.Register(CMALTHSolver{Config: CMALTHConfig{Seed: 1, SeedMinMin: true}})
+	solver.Register(GenerationalSolver{Config: GenerationalConfig{Seed: 1, SeedMinMin: true}})
+}

@@ -1,53 +1,39 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"gridsched/internal/etc"
 	"gridsched/internal/operators"
 	"gridsched/internal/rng"
 	"gridsched/internal/schedule"
+	"gridsched/internal/solver"
 	"gridsched/internal/topology"
 )
 
-// Result reports the outcome of a PA-CGA (or synchronous CGA) run.
-type Result struct {
-	// Best is a clone of the best schedule found; BestFitness is its
-	// makespan.
-	Best        *schedule.Schedule
-	BestFitness float64
-	// Evaluations counts fitness evaluations, including the initial
-	// population — the paper's speedup currency (Eq. 5).
-	Evaluations int64
-	// Generations is the total number of block sweeps summed over
-	// workers; PerThread holds the per-worker counts, which differ in
-	// the asynchronous model when breeding loops take unequal time.
-	Generations int64
-	PerThread   []int64
-	// LocalSearchMoves counts improving moves made by the local search.
-	LocalSearchMoves int64
-	// Duration is the measured wall time of the evolution phase.
-	Duration time.Duration
-	// Convergence, when recording was requested, holds the mean
-	// population makespan at each generation index (Fig. 6): entry g
-	// averages every block's mean at its own generation g, weighted by
-	// block size, falling back to a block's final value once that worker
-	// has stopped.
-	Convergence []float64
-	// Diversity, when requested, holds the mean per-task Simpson
-	// diversity of the whole population, sampled by the first worker at
-	// its generation boundaries (per-block diversity would under-report:
-	// blocks deliberately niche into different search-space regions).
-	Diversity []float64
-}
+// Result reports the outcome of a PA-CGA (or synchronous CGA) run. It
+// is the solver layer's common result shape: the Convergence entry g
+// averages every block's mean at its own generation g, weighted by
+// block size (falling back to a block's final value once that worker
+// has stopped), and Diversity is sampled over the whole population by
+// the first worker (per-block diversity would under-report: blocks
+// deliberately niche into different search-space regions).
+type Result = solver.Result
 
 // Run executes PA-CGA (Algorithms 2–3) on the instance and returns the
 // result. It spawns Params.Threads worker goroutines, each evolving its
 // contiguous population block asynchronously until a stop condition
 // fires.
 func Run(inst *etc.Instance, p Params) (*Result, error) {
+	return RunContext(context.Background(), inst, p)
+}
+
+// RunContext is Run with context cancellation: the run stops at the
+// earliest of the params' stop conditions and ctx's cancellation,
+// checked at the same coarse granularity as the wall-clock deadline.
+func RunContext(ctx context.Context, inst *etc.Instance, p Params) (*Result, error) {
 	p = p.withDefaults()
 	if err := p.validate(); err != nil {
 		return nil, err
@@ -65,33 +51,26 @@ func Run(inst *etc.Instance, p Params) (*Result, error) {
 	initRNG := root.Split(0)
 	pop := newPopulation(inst, grid.Size(), initRNG, !p.DisableMinMinSeed, p.LockMode, p.fitness)
 
-	var evals atomic.Int64
-	evals.Store(int64(pop.size())) // initial_evaluation of Algorithm 2
+	eng := solver.NewEngine(ctx, p.budget())
+	eng.AddEvals(int64(pop.size())) // initial_evaluation of Algorithm 2
 	var lsMoves atomic.Int64
-
-	t0 := time.Now()
-	var deadline time.Time
-	if p.MaxDuration > 0 {
-		deadline = t0.Add(p.MaxDuration)
-	}
 
 	workers := make([]*worker, p.Threads)
 	for i := range workers {
 		workers[i] = &worker{
-			id:       i,
-			block:    blocks[i],
-			grid:     grid,
-			pop:      pop,
-			params:   &p,
-			r:        root.Split(uint64(i) + 1),
-			evals:    &evals,
-			lsMoves:  &lsMoves,
-			deadline: deadline,
-			p1:       schedule.New(inst),
-			p2:       schedule.New(inst),
-			child:    schedule.New(inst),
-			neigh:    make([]int, 0, p.Neighborhood.Size()),
-			cands:    make([]operators.Candidate, 0, p.Neighborhood.Size()),
+			id:      i,
+			block:   blocks[i],
+			grid:    grid,
+			pop:     pop,
+			params:  &p,
+			r:       root.Split(uint64(i) + 1),
+			eng:     eng,
+			lsMoves: &lsMoves,
+			p1:      schedule.New(inst),
+			p2:      schedule.New(inst),
+			child:   schedule.New(inst),
+			neigh:   make([]int, 0, p.Neighborhood.Size()),
+			cands:   make([]operators.Candidate, 0, p.Neighborhood.Size()),
 		}
 		workers[i].sweeper = topology.NewSweeper(p.Sweep, blocks[i], workers[i].r.Split(0))
 	}
@@ -107,9 +86,9 @@ func Run(inst *etc.Instance, p Params) (*Result, error) {
 	wg.Wait()
 
 	res := &Result{
-		Evaluations:      evals.Load(),
+		Evaluations:      eng.Evals(),
 		LocalSearchMoves: lsMoves.Load(),
-		Duration:         time.Since(t0),
+		Duration:         eng.Elapsed(),
 		PerThread:        make([]int64, len(workers)),
 	}
 	for i, w := range workers {
@@ -129,16 +108,15 @@ func Run(inst *etc.Instance, p Params) (*Result, error) {
 // worker owns one population block, its RNG stream and its reusable
 // breeding workspaces; it implements Algorithm 3.
 type worker struct {
-	id       int
-	block    topology.Block
-	grid     topology.Grid
-	pop      *population
-	params   *Params
-	r        *rng.Rand
-	sweeper  *topology.Sweeper
-	evals    *atomic.Int64
-	lsMoves  *atomic.Int64
-	deadline time.Time
+	id      int
+	block   topology.Block
+	grid    topology.Grid
+	pop     *population
+	params  *Params
+	r       *rng.Rand
+	sweeper *topology.Sweeper
+	eng     *solver.Engine
+	lsMoves *atomic.Int64
 
 	p1, p2, child *schedule.Schedule
 	neigh         []int
@@ -151,20 +129,18 @@ type worker struct {
 }
 
 // evolve runs block sweeps until a stop condition fires. Matching the
-// paper, the wall-clock condition is checked once per sweep (§3.2
-// explicitly accepts the overshoot); the evaluation budget is checked
-// per breeding step so tests can rely on tight budgets.
+// paper, the wall-clock condition (and context cancellation) is checked
+// once per sweep (§3.2 explicitly accepts the overshoot); the
+// evaluation budget is checked per breeding step so tests can rely on
+// tight budgets.
 func (w *worker) evolve() {
 	p := w.params
 	for {
-		if !w.deadline.IsZero() && !time.Now().Before(w.deadline) {
-			return
-		}
-		if p.MaxGenerations > 0 && w.gens >= p.MaxGenerations {
+		if w.eng.StopSweep(w.gens) {
 			return
 		}
 		for _, cell := range w.sweeper.Order() {
-			if p.MaxEvaluations > 0 && w.evals.Load() >= p.MaxEvaluations {
+			if w.eng.EvalsExhausted() {
 				return
 			}
 			w.evolveCell(cell)
@@ -234,7 +210,7 @@ func (w *worker) evolveCell(cell int) {
 	// evaluate: with the default makespan objective this is a scan of
 	// the machine vector, thanks to incremental completion times.
 	fit := p.fitness(w.child)
-	w.evals.Add(1)
+	w.eng.AddEvals(1)
 
 	// replace: install into the current cell under the write lock if the
 	// policy accepts.

@@ -18,6 +18,7 @@ import (
 
 	"gridsched/internal/operators"
 	"gridsched/internal/schedule"
+	"gridsched/internal/solver"
 	"gridsched/internal/topology"
 )
 
@@ -132,6 +133,24 @@ type Params struct {
 	// load off the makespan machine — so large weights pair best with a
 	// lower LocalProb. Must lie in [0, 1].
 	FlowtimeWeight float64
+}
+
+// budget translates the params' stop conditions into the solver
+// layer's shared Budget.
+func (p Params) budget() solver.Budget {
+	return solver.Budget{
+		MaxDuration:    p.MaxDuration,
+		MaxEvaluations: p.MaxEvaluations,
+		MaxGenerations: p.MaxGenerations,
+	}
+}
+
+// withBudget overwrites the params' stop conditions from a Budget.
+func (p Params) withBudget(b solver.Budget) Params {
+	p.MaxDuration = b.MaxDuration
+	p.MaxEvaluations = b.MaxEvaluations
+	p.MaxGenerations = b.MaxGenerations
+	return p
 }
 
 // fitness evaluates a schedule under the configured objective.

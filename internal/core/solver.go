@@ -1,0 +1,64 @@
+package core
+
+import (
+	"context"
+
+	"gridsched/internal/etc"
+	"gridsched/internal/solver"
+)
+
+// PACGA adapts the parallel asynchronous cellular GA to the unified
+// solver interface. Params carries the full configuration; the budget
+// fields are overwritten by the Budget passed to Solve.
+type PACGA struct {
+	Params Params
+}
+
+// Name implements solver.Solver.
+func (s PACGA) Name() string { return "pa-cga" }
+
+// Describe implements solver.Solver.
+func (s PACGA) Describe() string {
+	return "parallel asynchronous cellular GA (the paper's algorithm, Table 1 defaults)"
+}
+
+// WithSeed implements solver.Seeder.
+func (s PACGA) WithSeed(seed uint64) solver.Solver {
+	s.Params.Seed = seed
+	return s
+}
+
+// Solve implements solver.Solver.
+func (s PACGA) Solve(ctx context.Context, inst *etc.Instance, b solver.Budget) (*solver.Result, error) {
+	return RunContext(ctx, inst, s.Params.withBudget(b))
+}
+
+// SyncCGA adapts the synchronous cellular GA (the async-vs-sync
+// ablation) to the unified solver interface.
+type SyncCGA struct {
+	Params Params
+}
+
+// Name implements solver.Solver.
+func (s SyncCGA) Name() string { return "sync-cga" }
+
+// Describe implements solver.Solver.
+func (s SyncCGA) Describe() string {
+	return "synchronous cellular GA (single thread, generation barrier)"
+}
+
+// WithSeed implements solver.Seeder.
+func (s SyncCGA) WithSeed(seed uint64) solver.Solver {
+	s.Params.Seed = seed
+	return s
+}
+
+// Solve implements solver.Solver.
+func (s SyncCGA) Solve(ctx context.Context, inst *etc.Instance, b solver.Budget) (*solver.Result, error) {
+	return RunSyncContext(ctx, inst, s.Params.withBudget(b))
+}
+
+func init() {
+	solver.Register(PACGA{Params: DefaultParams()})
+	solver.Register(SyncCGA{Params: DefaultParams()})
+}

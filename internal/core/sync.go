@@ -1,12 +1,13 @@
 package core
 
 import (
-	"time"
+	"context"
 
 	"gridsched/internal/etc"
 	"gridsched/internal/operators"
 	"gridsched/internal/rng"
 	"gridsched/internal/schedule"
+	"gridsched/internal/solver"
 	"gridsched/internal/topology"
 )
 
@@ -17,6 +18,12 @@ import (
 // ignored) and serves as the async-vs-sync ablation and as the substrate
 // for the cellular memetic baseline.
 func RunSync(inst *etc.Instance, p Params) (*Result, error) {
+	return RunSyncContext(context.Background(), inst, p)
+}
+
+// RunSyncContext is RunSync with context cancellation, checked at
+// generation granularity like the wall-clock deadline.
+func RunSyncContext(ctx context.Context, inst *etc.Instance, p Params) (*Result, error) {
 	p = p.withDefaults()
 	p.Threads = 1
 	p.LockMode = NoLock
@@ -45,32 +52,20 @@ func RunSync(inst *etc.Instance, p Params) (*Result, error) {
 	neigh := make([]int, 0, p.Neighborhood.Size())
 	cands := make([]operators.Candidate, 0, p.Neighborhood.Size())
 
-	evals := int64(pop.size())
+	eng := solver.NewEngine(ctx, p.budget())
+	eng.AddEvals(int64(pop.size()))
 	var lsMoves int64
 	var gens int64
 	var conv, div []float64
 	var divCount []int
 
-	t0 := time.Now()
-	var deadline time.Time
-	if p.MaxDuration > 0 {
-		deadline = t0.Add(p.MaxDuration)
-	}
-
-	budgetLeft := func() bool {
-		return p.MaxEvaluations <= 0 || evals < p.MaxEvaluations
-	}
-
 loop:
 	for {
-		if !deadline.IsZero() && !time.Now().Before(deadline) {
-			break
-		}
-		if p.MaxGenerations > 0 && gens >= p.MaxGenerations {
+		if eng.StopSweep(gens) {
 			break
 		}
 		for cell := 0; cell < grid.Size(); cell++ {
-			if !budgetLeft() {
+			if eng.EvalsExhausted() {
 				// Install the offspring bred so far in this generation,
 				// then stop: a partially-swept synchronous generation
 				// must not leave stale aux entries behind.
@@ -106,7 +101,7 @@ loop:
 				lsMoves += int64(p.Local.Apply(aux[cell], r))
 			}
 			auxFit[cell] = p.fitness(aux[cell])
-			evals++
+			eng.AddEvals(1)
 			accepted[cell] = p.Replacement.Accepts(pop.cells[cell].fit, auxFit[cell])
 		}
 		// Synchronous replacement: the whole generation installs at once.
@@ -128,9 +123,9 @@ loop:
 	}
 
 	res := &Result{
-		Evaluations:      evals,
+		Evaluations:      eng.Evals(),
 		LocalSearchMoves: lsMoves,
-		Duration:         time.Since(t0),
+		Duration:         eng.Elapsed(),
 		Generations:      gens,
 		PerThread:        []int64{gens},
 		Convergence:      conv,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 )
 
 // CSV writers for each experiment, so results can be post-processed with
@@ -51,20 +52,27 @@ func WriteFig5CSV(w io.Writer, cells []Fig5Cell) error {
 	return cw.Error()
 }
 
-// WriteTable2CSV writes the four mean-makespan columns per instance.
+// WriteTable2CSV writes one mean-makespan column per comparator solver
+// (header: the registry name with "-" mapped to "_") plus the two
+// PA-CGA columns per instance.
 func WriteTable2CSV(w io.Writer, rows []Table2Row) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"instance", "struggle_ga", "cma_lth", "pacga_short", "pacga_full"}); err != nil {
+	header := []string{"instance"}
+	if len(rows) > 0 {
+		for _, c := range rows[0].Comparators {
+			header = append(header, strings.ReplaceAll(c.Solver, "-", "_"))
+		}
+	}
+	header = append(header, "pacga_short", "pacga_full")
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, r := range rows {
-		rec := []string{
-			r.Instance,
-			formatF(r.Struggle),
-			formatF(r.CMALTH),
-			formatF(r.Short),
-			formatF(r.Full),
+		rec := []string{r.Instance}
+		for _, c := range r.Comparators {
+			rec = append(rec, formatF(c.Mean))
 		}
+		rec = append(rec, formatF(r.Short), formatF(r.Full))
 		if err := cw.Write(rec); err != nil {
 			return err
 		}

@@ -58,13 +58,18 @@ func TestWriteFig5CSV(t *testing.T) {
 }
 
 func TestWriteTable2CSV(t *testing.T) {
-	rows := []Table2Row{{Instance: "u_i_lolo.0", Struggle: 4, CMALTH: 3, Short: 2, Full: 1}}
+	rows := []Table2Row{{
+		Instance:    "u_i_lolo.0",
+		Comparators: []Table2Cell{{Solver: "struggle", Mean: 4}, {Solver: "cma-lth", Mean: 3}},
+		Short:       2,
+		Full:        1,
+	}}
 	var buf bytes.Buffer
 	if err := WriteTable2CSV(&buf, rows); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"instance", "u_i_lolo.0", "1.0000", "4.0000"} {
+	for _, want := range []string{"instance", "struggle", "cma_lth", "pacga_short", "u_i_lolo.0", "1.0000", "4.0000"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("CSV missing %q:\n%s", want, out)
 		}

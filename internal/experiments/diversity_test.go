@@ -41,8 +41,12 @@ func TestDiversityStudyShape(t *testing.T) {
 	}
 	// The robust structural effect: the block partition niches the
 	// population, so the 3-thread cellular model retains at least as
-	// much *global* diversity as the single-block cellular model.
-	if cell3[len(cell3)-1] < cell[len(cell)-1]*0.8 {
+	// much *global* diversity as the single-block cellular model. The
+	// race detector's scheduler skews the asynchronous workers far
+	// outside realistic interleavings (worker 0 can lap the others, so
+	// its global samples see a population the unslowed algorithm never
+	// produces), so the timing-sensitive comparison is skipped there.
+	if !raceEnabled && cell3[len(cell3)-1] < cell[len(cell)-1]*0.8 {
 		t.Fatalf("block partition destroyed diversity: 3t final %v vs 1t final %v",
 			cell3[len(cell3)-1], cell[len(cell)-1])
 	}

@@ -149,7 +149,14 @@ func TestTable2RowsAndRender(t *testing.T) {
 	if r.Instance != "u_i_hilo.0" {
 		t.Fatalf("instance %s", r.Instance)
 	}
-	for _, v := range []float64{r.Struggle, r.CMALTH, r.Short, r.Full} {
+	if len(r.Comparators) != len(Table2Comparators) {
+		t.Fatalf("%d comparator columns, want %d", len(r.Comparators), len(Table2Comparators))
+	}
+	vals := []float64{r.Short, r.Full}
+	for _, c := range r.Comparators {
+		vals = append(vals, c.Mean)
+	}
+	for _, v := range vals {
 		if v <= 0 {
 			t.Fatalf("non-positive makespan in row %+v", r)
 		}
@@ -165,13 +172,23 @@ func TestTable2RowsAndRender(t *testing.T) {
 }
 
 func TestTable2BestIsPACGA(t *testing.T) {
-	r := Table2Row{Struggle: 10, CMALTH: 9, Short: 8, Full: 7}
+	comparators := func(a, b float64) []Table2Cell {
+		return []Table2Cell{{Solver: "struggle", Mean: a}, {Solver: "cma-lth", Mean: b}}
+	}
+	r := Table2Row{Comparators: comparators(10, 9), Short: 8, Full: 7}
 	if !r.BestIsPACGA() {
 		t.Fatal("PA-CGA best not detected")
 	}
-	r = Table2Row{Struggle: 5, CMALTH: 9, Short: 8, Full: 7}
+	r = Table2Row{Comparators: comparators(5, 9), Short: 8, Full: 7}
 	if r.BestIsPACGA() {
 		t.Fatal("false PA-CGA win")
+	}
+}
+
+func TestTable2SolversUnknownComparator(t *testing.T) {
+	instances := []*etc.Instance{smallInstance(t, "u_i_hilo.0")}
+	if _, err := Table2Solvers(instances, tinyScale(), []string{"no-such-solver"}); err == nil {
+		t.Fatal("unknown comparator accepted")
 	}
 }
 

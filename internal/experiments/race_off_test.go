@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector instruments this test
+// binary; timing-sensitive assertions consult it.
+const raceEnabled = false

@@ -1,0 +1,54 @@
+package heuristics
+
+import (
+	"context"
+
+	"gridsched/internal/etc"
+	"gridsched/internal/solver"
+)
+
+// Constructive adapts a deterministic constructive heuristic to the
+// unified solver interface as a zero-budget solver: Solve ignores the
+// budget (a single construction pass is the whole run) and reports one
+// evaluation. It implements solver.Solver.
+type Constructive struct {
+	name string
+	desc string
+	fn   Heuristic
+}
+
+// Name implements solver.Solver.
+func (c Constructive) Name() string { return c.name }
+
+// Describe implements solver.Solver.
+func (c Constructive) Describe() string { return c.desc }
+
+// Solve implements solver.Solver.
+func (c Constructive) Solve(ctx context.Context, inst *etc.Instance, _ solver.Budget) (*solver.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	eng := solver.NewEngine(ctx, solver.Budget{})
+	s := c.fn(inst)
+	eng.AddEvals(1)
+	return &solver.Result{
+		Best:        s,
+		BestFitness: s.Makespan(),
+		Evaluations: eng.Evals(),
+		Duration:    eng.Elapsed(),
+	}, nil
+}
+
+func init() {
+	for _, c := range []Constructive{
+		{"minmin", "Min-min of Ibarra & Kim: commit the task with the smallest best completion time", MinMin},
+		{"maxmin", "Max-min: commit the task with the largest best completion time first", MaxMin},
+		{"sufferage", "Sufferage: commit the task that would suffer most if denied its best machine", Sufferage},
+		{"mct", "Minimum Completion Time: tasks in index order, each to its earliest-finishing machine", MCT},
+		{"met", "Minimum Execution Time: each task to its fastest machine, ignoring load", MET},
+		{"olb", "Opportunistic Load Balancing: each task to the earliest-idle machine", OLB},
+		{"ljfr-sjfr", "LJFR-SJFR: alternate longest and shortest remaining jobs onto their best machines", LJFRSJFR},
+	} {
+		solver.Register(c)
+	}
+}

@@ -14,9 +14,9 @@
 package islands
 
 import (
+	"context"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"gridsched/internal/core"
@@ -25,6 +25,7 @@ import (
 	"gridsched/internal/operators"
 	"gridsched/internal/rng"
 	"gridsched/internal/schedule"
+	"gridsched/internal/solver"
 	"gridsched/internal/topology"
 )
 
@@ -127,16 +128,15 @@ type migrant struct {
 
 // island is one private cellular population plus its ring channels.
 type island struct {
-	id       int
-	grid     topology.Grid
-	pop      []*schedule.Schedule
-	fit      []float64
-	r        *rng.Rand
-	inbox    <-chan migrant
-	outbox   chan<- migrant
-	cfg      *Config
-	evals    *atomic.Int64
-	deadline time.Time
+	id     int
+	grid   topology.Grid
+	pop    []*schedule.Schedule
+	fit    []float64
+	r      *rng.Rand
+	inbox  <-chan migrant
+	outbox chan<- migrant
+	cfg    *Config
+	eng    *solver.Engine
 
 	p1, p2, child *schedule.Schedule
 	neigh         []int
@@ -147,6 +147,12 @@ type island struct {
 // Run executes the island model and reports a core.Result so all engines
 // share one result shape (PerThread holds per-island generations).
 func Run(inst *etc.Instance, cfg Config) (*core.Result, error) {
+	return RunContext(context.Background(), inst, cfg)
+}
+
+// RunContext is Run with context cancellation, checked by each island
+// at generation granularity like the wall-clock deadline.
+func RunContext(ctx context.Context, inst *etc.Instance, cfg Config) (*core.Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -157,7 +163,11 @@ func Run(inst *etc.Instance, cfg Config) (*core.Result, error) {
 	}
 
 	root := rng.New(cfg.Seed)
-	var evals atomic.Int64
+	eng := solver.NewEngine(ctx, solver.Budget{
+		MaxDuration:    cfg.MaxDuration,
+		MaxEvaluations: cfg.MaxEvaluations,
+		MaxGenerations: cfg.MaxGenerations,
+	})
 
 	// Ring channels: island i sends to (i+1) mod N. Buffers are sized
 	// so a sender never blocks even if the receiver has already
@@ -168,26 +178,20 @@ func Run(inst *etc.Instance, cfg Config) (*core.Result, error) {
 	}
 
 	islands := make([]*island, cfg.Islands)
-	t0 := time.Now()
-	var deadline time.Time
-	if cfg.MaxDuration > 0 {
-		deadline = t0.Add(cfg.MaxDuration)
-	}
 	for i := range islands {
 		isl := &island{
-			id:       i,
-			grid:     grid,
-			r:        root.Split(uint64(i) + 1),
-			inbox:    chans[i],
-			outbox:   chans[(i+1)%cfg.Islands],
-			cfg:      &cfg,
-			evals:    &evals,
-			deadline: deadline,
-			p1:       schedule.New(inst),
-			p2:       schedule.New(inst),
-			child:    schedule.New(inst),
-			neigh:    make([]int, 0, cfg.Neighborhood.Size()),
-			cands:    make([]operators.Candidate, 0, cfg.Neighborhood.Size()),
+			id:     i,
+			grid:   grid,
+			r:      root.Split(uint64(i) + 1),
+			inbox:  chans[i],
+			outbox: chans[(i+1)%cfg.Islands],
+			cfg:    &cfg,
+			eng:    eng,
+			p1:     schedule.New(inst),
+			p2:     schedule.New(inst),
+			child:  schedule.New(inst),
+			neigh:  make([]int, 0, cfg.Neighborhood.Size()),
+			cands:  make([]operators.Candidate, 0, cfg.Neighborhood.Size()),
 		}
 		isl.pop = make([]*schedule.Schedule, grid.Size())
 		isl.fit = make([]float64, grid.Size())
@@ -202,7 +206,7 @@ func Run(inst *etc.Instance, cfg Config) (*core.Result, error) {
 		}
 		islands[i] = isl
 	}
-	evals.Store(int64(cfg.Islands * grid.Size()))
+	eng.AddEvals(int64(cfg.Islands * grid.Size()))
 
 	var wg sync.WaitGroup
 	for _, isl := range islands {
@@ -215,8 +219,8 @@ func Run(inst *etc.Instance, cfg Config) (*core.Result, error) {
 	wg.Wait()
 
 	res := &core.Result{
-		Evaluations: evals.Load(),
-		Duration:    time.Since(t0),
+		Evaluations: eng.Evals(),
+		Duration:    eng.Elapsed(),
 		PerThread:   make([]int64, cfg.Islands),
 	}
 	bestFit := islands[0].fit[0]
@@ -239,15 +243,12 @@ func Run(inst *etc.Instance, cfg Config) (*core.Result, error) {
 func (isl *island) evolve() {
 	cfg := isl.cfg
 	for {
-		if !isl.deadline.IsZero() && !time.Now().Before(isl.deadline) {
-			return
-		}
-		if cfg.MaxGenerations > 0 && isl.gens >= cfg.MaxGenerations {
+		if isl.eng.StopSweep(isl.gens) {
 			return
 		}
 		isl.receiveMigrants()
 		for cell := 0; cell < isl.grid.Size(); cell++ {
-			if cfg.MaxEvaluations > 0 && isl.evals.Load() >= cfg.MaxEvaluations {
+			if isl.eng.EvalsExhausted() {
 				return
 			}
 			isl.evolveCell(cell)
@@ -287,7 +288,7 @@ func (isl *island) evolveCell(cell int) {
 		cfg.Local.Apply(isl.child, isl.r)
 	}
 	f := isl.child.Makespan()
-	isl.evals.Add(1)
+	isl.eng.AddEvals(1)
 	if cfg.Replacement.Accepts(isl.fit[cell], f) {
 		isl.pop[cell].CopyFrom(isl.child)
 		isl.fit[cell] = f

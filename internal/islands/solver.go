@@ -1,0 +1,42 @@
+package islands
+
+import (
+	"context"
+
+	"gridsched/internal/etc"
+	"gridsched/internal/solver"
+)
+
+// Solver adapts the island model to the unified solver interface.
+// Config carries everything but the stop conditions, which come from
+// the Budget passed to Solve.
+type Solver struct {
+	Config Config
+}
+
+// Name implements solver.Solver.
+func (s Solver) Name() string { return "islands" }
+
+// Describe implements solver.Solver.
+func (s Solver) Describe() string {
+	return "island-model cellular GA: lock-free private populations coupled by ring migration"
+}
+
+// WithSeed implements solver.Seeder.
+func (s Solver) WithSeed(seed uint64) solver.Solver {
+	s.Config.Seed = seed
+	return s
+}
+
+// Solve implements solver.Solver.
+func (s Solver) Solve(ctx context.Context, inst *etc.Instance, b solver.Budget) (*solver.Result, error) {
+	cfg := s.Config
+	cfg.MaxDuration = b.MaxDuration
+	cfg.MaxEvaluations = b.MaxEvaluations
+	cfg.MaxGenerations = b.MaxGenerations
+	return RunContext(ctx, inst, cfg)
+}
+
+func init() {
+	solver.Register(Solver{Config: Config{Seed: 1, SeedMinMin: true}})
+}

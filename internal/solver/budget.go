@@ -1,0 +1,154 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Budget bounds a solver run. Bounds compose: the run stops at
+// whichever fires first; zero values disable a bound. Context
+// cancellation always stops a run regardless of the budget.
+type Budget struct {
+	// MaxDuration is the wall-clock budget (the paper's 90 s). Like the
+	// paper, solvers check it coarsely — once per sweep or every few
+	// steady-state steps — so runs may overshoot by one sweep (§3.2
+	// accepts the same approximation).
+	MaxDuration time.Duration
+	// MaxEvaluations bounds the total number of fitness evaluations
+	// across all workers, checked per breeding step.
+	MaxEvaluations int64
+	// MaxGenerations bounds each worker's (or island's) generation
+	// count.
+	MaxGenerations int64
+}
+
+// IsZero reports whether no bound is set.
+func (b Budget) IsZero() bool {
+	return b.MaxDuration <= 0 && b.MaxEvaluations <= 0 && b.MaxGenerations <= 0
+}
+
+// String renders the active bounds, e.g. "evals=8000 gens=50".
+func (b Budget) String() string {
+	var parts []string
+	if b.MaxDuration > 0 {
+		parts = append(parts, fmt.Sprintf("time=%v", b.MaxDuration))
+	}
+	if b.MaxEvaluations > 0 {
+		parts = append(parts, fmt.Sprintf("evals=%d", b.MaxEvaluations))
+	}
+	if b.MaxGenerations > 0 {
+		parts = append(parts, fmt.Sprintf("gens=%d", b.MaxGenerations))
+	}
+	if len(parts) == 0 {
+		return "unbounded"
+	}
+	return strings.Join(parts, " ")
+}
+
+// deadlinePollInterval is how many steady-state steps pass between
+// deadline/cancellation polls in StopStep. Single-threaded breeding
+// steps are microseconds, so polling every 64th keeps the overshoot
+// far below a millisecond while keeping time.Now off the hot path.
+const deadlinePollInterval = 64
+
+// Engine is the shared stop-condition engine: one atomic evaluation
+// counter plus coarse deadline/cancellation polling. Every solver in
+// the repository drives its loop off one Engine instead of a bespoke
+// copy of the deadline/budget logic.
+//
+// Granularity contract (matching the paper's §3.2): EvalsExhausted is
+// cheap (one atomic load) and is checked before every breeding step;
+// Expired polls the clock and the context and is checked once per
+// sweep/generation — or every deadlinePollInterval steps via StopStep
+// in steady-state loops — so wall-clock runs may overshoot by one
+// sweep.
+type Engine struct {
+	budget   Budget
+	ctx      context.Context
+	deadline time.Time
+	start    time.Time
+	evals    atomic.Int64
+}
+
+// NewEngine starts the budget clock. A nil ctx is treated as
+// context.Background().
+func NewEngine(ctx context.Context, b Budget) *Engine {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e := &Engine{budget: b, ctx: ctx, start: time.Now()}
+	if b.MaxDuration > 0 {
+		e.deadline = e.start.Add(b.MaxDuration)
+	}
+	if ctxDeadline, ok := ctx.Deadline(); ok && (e.deadline.IsZero() || ctxDeadline.Before(e.deadline)) {
+		e.deadline = ctxDeadline
+	}
+	return e
+}
+
+// Budget returns the bounds the engine enforces.
+func (e *Engine) Budget() Budget { return e.budget }
+
+// AddEvals records n fitness evaluations and returns the new total.
+func (e *Engine) AddEvals(n int64) int64 { return e.evals.Add(n) }
+
+// Evals returns the evaluations recorded so far.
+func (e *Engine) Evals() int64 { return e.evals.Load() }
+
+// Elapsed is the wall time since the engine started.
+func (e *Engine) Elapsed() time.Duration { return time.Since(e.start) }
+
+// EvalsExhausted reports whether the evaluation budget is spent. One
+// atomic load: safe to call before every breeding step on every worker.
+func (e *Engine) EvalsExhausted() bool {
+	return e.budget.MaxEvaluations > 0 && e.evals.Load() >= e.budget.MaxEvaluations
+}
+
+// RemainingEvals returns how many evaluations the budget still allows,
+// or -1 when evaluations are unbounded.
+func (e *Engine) RemainingEvals() int64 {
+	if e.budget.MaxEvaluations <= 0 {
+		return -1
+	}
+	if rem := e.budget.MaxEvaluations - e.evals.Load(); rem > 0 {
+		return rem
+	}
+	return 0
+}
+
+// GenerationsDone reports whether a worker that has completed gens
+// generations has reached the generation bound.
+func (e *Engine) GenerationsDone(gens int64) bool {
+	return e.budget.MaxGenerations > 0 && gens >= e.budget.MaxGenerations
+}
+
+// Expired reports whether the wall-clock deadline has passed or the
+// context was cancelled. It polls the clock, so call it at sweep
+// granularity (or let StopStep throttle it).
+func (e *Engine) Expired() bool {
+	if e.ctx.Err() != nil {
+		return true
+	}
+	return !e.deadline.IsZero() && !time.Now().Before(e.deadline)
+}
+
+// StopSweep is the per-sweep stop check for generation-structured
+// solvers: deadline/cancellation plus the generation bound for a worker
+// at gens completed generations. The evaluation bound is intentionally
+// excluded — it is checked per breeding step via EvalsExhausted.
+func (e *Engine) StopSweep(gens int64) bool {
+	return e.Expired() || e.GenerationsDone(gens)
+}
+
+// StopStep is the per-step stop check for steady-state solvers (one
+// offspring per step, no sweep structure): the evaluation bound every
+// step, the deadline and cancellation every deadlinePollInterval steps.
+func (e *Engine) StopStep(step int64) bool {
+	if e.EvalsExhausted() {
+		return true
+	}
+	return step%deadlinePollInterval == 0 && e.Expired()
+}

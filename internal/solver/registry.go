@@ -1,0 +1,55 @@
+package solver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry maps stable names to Solver implementations. Algorithm
+// packages register themselves in init, so importing a package makes
+// its solvers dispatchable by name; the gridsched facade imports every
+// implementation and therefore always sees the full set.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Solver{}
+)
+
+// Register adds s under s.Name(). It panics on an empty name or a
+// duplicate registration: both are programmer errors wiring up a new
+// solver, not runtime conditions.
+func Register(s Solver) {
+	name := s.Name()
+	if name == "" {
+		panic("solver: Register with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("solver: duplicate registration of %q", name))
+	}
+	registry[name] = s
+}
+
+// Lookup resolves a registered solver by name.
+func Lookup(name string) (Solver, error) {
+	regMu.RLock()
+	s, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("solver: unknown solver %q (have: %v)", name, Names())
+	}
+	return s, nil
+}
+
+// Names lists every registered solver name, sorted.
+func Names() []string {
+	regMu.RLock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	regMu.RUnlock()
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,80 @@
+// Package solver defines the unified solver layer shared by every
+// metaheuristic and heuristic in the repository: a common Solver
+// interface, one Result shape, a Budget of stop conditions with a
+// single correct stop-condition engine, and a name-based registry.
+//
+// Before this layer existed, each algorithm (PA-CGA, the synchronous
+// cellular GA, the Struggle GA, cMA+LTH, the generational GA, the
+// island model, tabu search and the constructive heuristics) carried
+// its own copy of the deadline/evaluation-budget loop and its own entry
+// point. Now every algorithm implements Solver, registers itself under
+// a stable name, and delegates stopping to Engine — so harnesses, CLIs
+// and services dispatch by name instead of growing N-way switches.
+package solver
+
+import (
+	"context"
+	"time"
+
+	"gridsched/internal/etc"
+	"gridsched/internal/schedule"
+)
+
+// Solver is one scheduling algorithm behind a uniform run contract:
+// solve the instance within the budget (and the context's lifetime) and
+// report the common Result. Implementations must treat the receiver as
+// immutable configuration so a registered Solver is safe for concurrent
+// use.
+type Solver interface {
+	// Name is the stable registry key, e.g. "pa-cga" or "minmin".
+	Name() string
+	// Describe is a one-line human description for listings.
+	Describe() string
+	// Solve runs the algorithm on the instance. The run stops at
+	// whichever fires first: a budget bound or ctx cancellation.
+	// Constructive heuristics ignore the budget (they are zero-budget
+	// solvers); every iterative solver requires at least one bound.
+	Solve(ctx context.Context, inst *etc.Instance, b Budget) (*Result, error)
+}
+
+// Seeder is implemented by solvers whose randomness can be re-seeded;
+// WithSeed must return a copy, leaving the receiver untouched.
+type Seeder interface {
+	WithSeed(seed uint64) Solver
+}
+
+// WithSeed returns s reconfigured with the seed when s supports
+// seeding, and s unchanged otherwise (deterministic solvers).
+func WithSeed(s Solver, seed uint64) Solver {
+	if sd, ok := s.(Seeder); ok {
+		return sd.WithSeed(seed)
+	}
+	return s
+}
+
+// Result reports the outcome of any solver run. It is the one result
+// shape shared across the solver layer (core.Result aliases it).
+type Result struct {
+	// Best is a clone of the best schedule found; BestFitness is its
+	// fitness (makespan under the default objective).
+	Best        *schedule.Schedule
+	BestFitness float64
+	// Evaluations counts fitness evaluations, including the initial
+	// population — the paper's speedup currency (Eq. 5).
+	Evaluations int64
+	// Generations is the total number of block sweeps summed over
+	// workers; PerThread holds the per-worker counts, which differ in
+	// the asynchronous model when breeding loops take unequal time.
+	Generations int64
+	PerThread   []int64
+	// LocalSearchMoves counts improving moves made by the local search.
+	LocalSearchMoves int64
+	// Duration is the measured wall time of the evolution phase.
+	Duration time.Duration
+	// Convergence, when recording was requested, holds the mean
+	// population makespan at each generation index (Fig. 6).
+	Convergence []float64
+	// Diversity, when requested, holds the mean per-task Simpson
+	// diversity of the population at each generation index.
+	Diversity []float64
+}

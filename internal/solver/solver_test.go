@@ -1,0 +1,192 @@
+package solver
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"gridsched/internal/etc"
+	"gridsched/internal/schedule"
+)
+
+func TestBudgetIsZeroAndString(t *testing.T) {
+	if !(Budget{}).IsZero() {
+		t.Fatal("zero budget not detected")
+	}
+	b := Budget{MaxDuration: time.Second, MaxEvaluations: 10, MaxGenerations: 3}
+	if b.IsZero() {
+		t.Fatal("non-zero budget reported zero")
+	}
+	s := b.String()
+	for _, want := range []string{"time=1s", "evals=10", "gens=3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+	if (Budget{}).String() != "unbounded" {
+		t.Fatalf("zero budget String() = %q", (Budget{}).String())
+	}
+}
+
+func TestEngineEvaluationBudget(t *testing.T) {
+	e := NewEngine(nil, Budget{MaxEvaluations: 5})
+	if e.EvalsExhausted() {
+		t.Fatal("fresh engine exhausted")
+	}
+	if got := e.RemainingEvals(); got != 5 {
+		t.Fatalf("RemainingEvals = %d", got)
+	}
+	e.AddEvals(3)
+	if e.EvalsExhausted() {
+		t.Fatal("exhausted below budget")
+	}
+	if got := e.RemainingEvals(); got != 2 {
+		t.Fatalf("RemainingEvals = %d", got)
+	}
+	e.AddEvals(2)
+	if !e.EvalsExhausted() {
+		t.Fatal("budget reached but not exhausted")
+	}
+	if got := e.RemainingEvals(); got != 0 {
+		t.Fatalf("RemainingEvals = %d", got)
+	}
+	if got := e.Evals(); got != 5 {
+		t.Fatalf("Evals = %d", got)
+	}
+	// Unbounded evaluations never exhaust.
+	u := NewEngine(nil, Budget{MaxGenerations: 1})
+	u.AddEvals(1 << 40)
+	if u.EvalsExhausted() || u.RemainingEvals() != -1 {
+		t.Fatal("unbounded engine exhausted")
+	}
+}
+
+func TestEngineGenerations(t *testing.T) {
+	e := NewEngine(nil, Budget{MaxGenerations: 2})
+	if e.GenerationsDone(1) || e.StopSweep(1) {
+		t.Fatal("stopped early")
+	}
+	if !e.GenerationsDone(2) || !e.StopSweep(2) {
+		t.Fatal("generation bound ignored")
+	}
+	u := NewEngine(nil, Budget{MaxEvaluations: 1})
+	if u.GenerationsDone(1 << 40) {
+		t.Fatal("unbounded generations done")
+	}
+}
+
+func TestEngineDeadline(t *testing.T) {
+	e := NewEngine(nil, Budget{MaxDuration: 20 * time.Millisecond})
+	if e.Expired() {
+		t.Fatal("expired immediately")
+	}
+	time.Sleep(30 * time.Millisecond)
+	if !e.Expired() {
+		t.Fatal("deadline not noticed")
+	}
+	if e.Elapsed() < 20*time.Millisecond {
+		t.Fatal("Elapsed under deadline")
+	}
+}
+
+func TestEngineContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	e := NewEngine(ctx, Budget{MaxDuration: time.Hour})
+	if e.Expired() {
+		t.Fatal("expired before cancel")
+	}
+	cancel()
+	if !e.Expired() {
+		t.Fatal("cancellation not noticed")
+	}
+	// A context deadline tighter than MaxDuration wins.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel2()
+	e2 := NewEngine(ctx2, Budget{MaxDuration: time.Hour})
+	time.Sleep(20 * time.Millisecond)
+	if !e2.Expired() {
+		t.Fatal("context deadline ignored")
+	}
+}
+
+func TestEngineStopStepCoarsePolling(t *testing.T) {
+	// With an already-expired deadline, StopStep still lets non-poll
+	// steps through (coarse polling) but stops on poll steps.
+	e := NewEngine(nil, Budget{MaxDuration: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	if e.StopStep(1) {
+		t.Fatal("non-poll step polled the deadline")
+	}
+	if !e.StopStep(0) || !e.StopStep(deadlinePollInterval) {
+		t.Fatal("poll step missed the deadline")
+	}
+	// The evaluation bound is checked on every step regardless.
+	e2 := NewEngine(nil, Budget{MaxEvaluations: 1})
+	e2.AddEvals(1)
+	if !e2.StopStep(1) {
+		t.Fatal("eval bound skipped on non-poll step")
+	}
+}
+
+// stubSolver exercises the registry and the WithSeed helper.
+type stubSolver struct {
+	name string
+	seed uint64
+}
+
+func (s stubSolver) Name() string     { return s.name }
+func (s stubSolver) Describe() string { return "stub" }
+func (s stubSolver) Solve(ctx context.Context, inst *etc.Instance, b Budget) (*Result, error) {
+	return &Result{Best: schedule.New(inst)}, nil
+}
+func (s stubSolver) WithSeed(seed uint64) Solver { s.seed = seed; return s }
+
+func TestRegistry(t *testing.T) {
+	Register(stubSolver{name: "stub-a"})
+	Register(stubSolver{name: "stub-b"})
+
+	s, err := Lookup("stub-a")
+	if err != nil || s.Name() != "stub-a" {
+		t.Fatalf("Lookup: %v, %v", s, err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown name resolved")
+	}
+	names := Names()
+	ia, ib := -1, -1
+	for i, n := range names {
+		if n == "stub-a" {
+			ia = i
+		}
+		if n == "stub-b" {
+			ib = i
+		}
+	}
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("Names() = %v not sorted or missing stubs", names)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register(stubSolver{name: "stub-a"})
+}
+
+func TestRegisterEmptyNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty name did not panic")
+		}
+	}()
+	Register(stubSolver{})
+}
+
+func TestWithSeedHelper(t *testing.T) {
+	seeded := WithSeed(stubSolver{name: "x"}, 42)
+	if seeded.(stubSolver).seed != 42 {
+		t.Fatal("WithSeed did not reconfigure a Seeder")
+	}
+}

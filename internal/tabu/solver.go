@@ -1,0 +1,114 @@
+package tabu
+
+import (
+	"context"
+	"fmt"
+
+	"gridsched/internal/etc"
+	"gridsched/internal/heuristics"
+	"gridsched/internal/rng"
+	"gridsched/internal/schedule"
+	"gridsched/internal/solver"
+)
+
+// Solver runs tabu search as a standalone metaheuristic rather than as
+// a local-search hook inside a GA: an iterated tabu search that starts
+// from the Min-min schedule, applies bounded tabu sweeps, and kicks the
+// incumbent with random task moves whenever a sweep fails to improve —
+// the restart discipline that lets a trajectory method compete with the
+// population methods under the same budget.
+type Solver struct {
+	// Search configures each tabu sweep; zero fields take the Search
+	// defaults.
+	Search Search
+	// KickMoves is how many random task relocations perturb the
+	// incumbent after a non-improving sweep (default 8).
+	KickMoves int
+	// RandomStart begins from a random schedule instead of Min-min.
+	RandomStart bool
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Name implements solver.Solver.
+func (s Solver) Name() string { return "tabu" }
+
+// Describe implements solver.Solver.
+func (s Solver) Describe() string {
+	return "standalone iterated tabu search from a Min-min start with random-kick diversification"
+}
+
+// WithSeed implements solver.Seeder.
+func (s Solver) WithSeed(seed uint64) solver.Solver {
+	s.Seed = seed
+	return s
+}
+
+func (s Solver) kickMoves() int {
+	if s.KickMoves <= 0 {
+		return 8
+	}
+	return s.KickMoves
+}
+
+// Solve implements solver.Solver. Each tabu iteration counts as one
+// evaluation (one incremental makespan recomputation), and sweeps are
+// clamped to the remaining evaluation budget so the bound is exact.
+func (s Solver) Solve(ctx context.Context, inst *etc.Instance, b solver.Budget) (*solver.Result, error) {
+	if b.IsZero() {
+		return nil, fmt.Errorf("tabu: no stop condition set")
+	}
+	eng := solver.NewEngine(ctx, b)
+	r := rng.New(s.Seed)
+
+	var cur *schedule.Schedule
+	if s.RandomStart {
+		cur = schedule.NewRandom(inst, r)
+	} else {
+		cur = heuristics.MinMin(inst)
+	}
+	eng.AddEvals(1)
+	best := cur.Clone()
+	bestFit := cur.Makespan()
+
+	search := s.Search
+	chunk := int64(search.maxIters())
+	var sweeps, moves int64
+	for {
+		if eng.StopSweep(sweeps) || eng.EvalsExhausted() {
+			break
+		}
+		iters := chunk
+		if rem := eng.RemainingEvals(); rem >= 0 && rem < iters {
+			iters = rem
+		}
+		search.MaxIters = int(iters)
+		moves += int64(search.Apply(cur, r))
+		eng.AddEvals(iters)
+		sweeps++
+		if f := cur.Makespan(); f < bestFit {
+			best.CopyFrom(cur)
+			bestFit = f
+		} else {
+			// Diversify: kick the incumbent with random relocations so
+			// the next sweep explores a different basin.
+			for k := 0; k < s.kickMoves(); k++ {
+				cur.Move(r.Intn(inst.T), r.Intn(inst.M))
+			}
+		}
+	}
+
+	return &solver.Result{
+		Best:             best,
+		BestFitness:      bestFit,
+		Evaluations:      eng.Evals(),
+		Generations:      sweeps,
+		PerThread:        []int64{sweeps},
+		LocalSearchMoves: moves,
+		Duration:         eng.Elapsed(),
+	}, nil
+}
+
+func init() {
+	solver.Register(Solver{Seed: 1})
+}

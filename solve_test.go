@@ -1,0 +1,173 @@
+package gridsched
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// solveTestInstance is a small instance every registered solver can
+// chew through quickly.
+func solveTestInstance(t *testing.T) *Instance {
+	t.Helper()
+	in, err := Generate(GenSpec{
+		Class:    Class{Consistency: Inconsistent, TaskHet: HighHet, MachineHet: HighHet},
+		Tasks:    24,
+		Machines: 4,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// parallelSolvers race on a shared evaluation counter, so two runs with
+// the same seed may interleave differently; every other solver must be
+// bit-reproducible under a fixed seed and evaluation budget.
+var parallelSolvers = map[string]bool{"pa-cga": true, "islands": true}
+
+// zeroBudgetSolvers are the constructive heuristics: single-pass,
+// budget-ignoring, fully deterministic.
+func zeroBudgetSolvers() map[string]bool {
+	m := map[string]bool{}
+	for _, name := range HeuristicNames() {
+		m[name] = true
+	}
+	return m
+}
+
+// TestSolveRegistryRoundTrip resolves every registered solver by name
+// and solves the same tiny instance, checking the common Result
+// contract — and bit-reproducibility for the non-parallel solvers.
+func TestSolveRegistryRoundTrip(t *testing.T) {
+	in := solveTestInstance(t)
+	zero := zeroBudgetSolvers()
+	names := SolverNames()
+	if len(names) < 14 {
+		t.Fatalf("only %d registered solvers: %v", len(names), names)
+	}
+	for _, name := range names {
+		opts := SolveOptions{Budget: Budget{MaxEvaluations: 600}, Seed: 7}
+		res, err := Solve(name, in, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Best == nil || !res.Best.Complete() {
+			t.Fatalf("%s: incomplete best schedule", name)
+		}
+		if err := res.Best.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.BestFitness <= 0 || res.Evaluations <= 0 {
+			t.Fatalf("%s: degenerate result %+v", name, res)
+		}
+		if zero[name] && res.Evaluations != 1 {
+			t.Fatalf("%s: zero-budget solver reported %d evaluations", name, res.Evaluations)
+		}
+		if parallelSolvers[name] {
+			continue
+		}
+		again, err := Solve(name, in, opts)
+		if err != nil {
+			t.Fatalf("%s (rerun): %v", name, err)
+		}
+		if again.BestFitness != res.BestFitness {
+			t.Fatalf("%s: not deterministic under fixed seed: %v vs %v",
+				name, res.BestFitness, again.BestFitness)
+		}
+	}
+}
+
+// TestSolveBudgetParity asserts every iterative solver respects
+// MaxEvaluations within one breeding step per concurrent worker — the
+// contract the shared stop-condition engine enforces for all of them.
+func TestSolveBudgetParity(t *testing.T) {
+	in := solveTestInstance(t)
+	zero := zeroBudgetSolvers()
+	const budget = 600
+	const slack = 8 // max concurrent workers: one in-flight breeding step each
+	for _, name := range SolverNames() {
+		if zero[name] {
+			continue
+		}
+		res, err := Solve(name, in, SolveOptions{Budget: Budget{MaxEvaluations: budget}, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Evaluations < budget || res.Evaluations > budget+slack {
+			t.Fatalf("%s: %d evaluations under a budget of %d (allowed overshoot %d)",
+				name, res.Evaluations, budget, slack)
+		}
+	}
+}
+
+// TestSolveMissingStopCondition ensures iterative solvers reject an
+// empty budget instead of running forever.
+func TestSolveMissingStopCondition(t *testing.T) {
+	in := solveTestInstance(t)
+	zero := zeroBudgetSolvers()
+	for _, name := range SolverNames() {
+		if zero[name] {
+			continue
+		}
+		if _, err := Solve(name, in, SolveOptions{}); err == nil {
+			t.Fatalf("%s: empty budget accepted", name)
+		}
+	}
+}
+
+// TestSolveContextCancellation covers both cancellation modes: a
+// pre-cancelled context stops every iterative solver after the initial
+// evaluation, and a mid-run cancel ends a long wall-clock run promptly.
+func TestSolveContextCancellation(t *testing.T) {
+	in := solveTestInstance(t)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	zero := zeroBudgetSolvers()
+	for _, name := range SolverNames() {
+		if zero[name] {
+			continue
+		}
+		res, err := Solve(name, in, SolveOptions{
+			Context: cancelled,
+			Budget:  Budget{MaxDuration: time.Hour},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Only the initial population (plus at most one coarse polling
+		// window of steady-state steps) may have been evaluated.
+		if res.Evaluations > 600 {
+			t.Fatalf("%s: %d evaluations despite cancelled context", name, res.Evaluations)
+		}
+	}
+
+	ctx, cancelLive := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancelLive()
+	}()
+	start := time.Now()
+	if _, err := Solve("pa-cga", in, SolveOptions{
+		Context: ctx,
+		Budget:  Budget{MaxDuration: time.Hour},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation ignored: run took %v", elapsed)
+	}
+}
+
+// TestSolveUnknownName checks the registry error path through the
+// facade.
+func TestSolveUnknownName(t *testing.T) {
+	in := solveTestInstance(t)
+	if _, err := Solve("no-such-solver", in, SolveOptions{}); err == nil {
+		t.Fatal("unknown solver accepted")
+	}
+	if _, err := LookupSolver("tabu"); err != nil {
+		t.Fatal(err)
+	}
+}
