@@ -7,6 +7,10 @@
 //	etcgen -instance u_i_hihi.0 -o u_i_hihi.0.etc
 //	etcgen -all -dir bench/              # write the full 12-instance suite
 //	etcgen -inspect u_i_hihi.0.etc       # print summary statistics
+//
+// etcgen takes the shared -seed flag; when it is left unset (and the
+// dimensions are the defaults) the instance's canonical per-name seed
+// is used instead, so generated files byte-match the benchmark suite.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"path/filepath"
 
 	"gridsched"
+	"gridsched/internal/cliutil"
 	"gridsched/internal/etc"
 	"gridsched/internal/stats"
 )
@@ -29,7 +34,7 @@ func main() {
 		instName = flag.String("instance", "u_c_hihi.0", "instance name to generate (u_x_yyzz.k)")
 		tasks    = flag.Int("tasks", etc.DefaultTasks, "number of tasks")
 		machines = flag.Int("machines", etc.DefaultMachines, "number of machines")
-		seed     = flag.Uint64("seed", 0, "explicit seed (0 = derive from instance name)")
+		seed     = cliutil.SeedFlag()
 		out      = flag.String("o", "", "output file (default stdout)")
 		all      = flag.Bool("all", false, "generate the full 12-instance benchmark suite")
 		dir      = flag.String("dir", ".", "output directory for -all")
@@ -61,8 +66,10 @@ func main() {
 		}
 		spec := etc.GenSpec{Class: cl, Tasks: *tasks, Machines: *machines, Seed: *seed}
 		var in *gridsched.Instance
-		if *seed == 0 && *tasks == etc.DefaultTasks && *machines == etc.DefaultMachines {
-			in, err = gridsched.GenerateInstance(*instName) // canonical fixed seed
+		if !cliutil.SeedSet() && *tasks == etc.DefaultTasks && *machines == etc.DefaultMachines {
+			// No explicit -seed: use the instance's canonical fixed seed,
+			// so generated files byte-match the benchmark suite.
+			in, err = gridsched.GenerateInstance(*instName)
 		} else {
 			in, err = gridsched.Generate(spec)
 		}

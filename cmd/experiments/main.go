@@ -15,15 +15,20 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"gridsched"
+	"gridsched/internal/cliutil"
 	"gridsched/internal/experiments"
 )
 
@@ -46,7 +51,7 @@ func main() {
 		evals    = flag.Int64("evals", 0, "override evaluation budget per run")
 		threads  = flag.Int("threads", 0, "override thread count for fig5/table2")
 		instance = flag.String("instance", "u_c_hihi.0", "instance for fig4/fig6")
-		seed     = flag.Uint64("seed", 1, "base seed")
+		seed     = cliutil.SeedFlag()
 		csvDir   = flag.String("csv-dir", "", "also write raw results as CSV files into this directory")
 	)
 	flag.Parse()
@@ -55,6 +60,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	// ^C (or SIGTERM) aborts the running experiment cleanly: the
+	// in-flight run stops through its budget context and the experiment
+	// returns context.Canceled instead of a half-averaged table.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	sc := gridsched.CIScale()
 	if *paper {
@@ -94,10 +105,8 @@ func main() {
 			log.Fatal(err)
 		}
 		start := time.Now()
-		rows, err := gridsched.Fig4(inst, fsc)
-		if err != nil {
-			log.Fatal(err)
-		}
+		rows, err := gridsched.Fig4Context(ctx, inst, fsc)
+		check(err)
 		fmt.Println(gridsched.RenderFig4(rows))
 		writeCSV(*csvDir, "fig4.csv", func(w io.Writer) error { return experiments.WriteFig4CSV(w, rows) })
 		fmt.Printf("(fig4 completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
@@ -109,10 +118,8 @@ func main() {
 			log.Fatal(err)
 		}
 		start := time.Now()
-		cells, err := gridsched.Fig5(suite, sc)
-		if err != nil {
-			log.Fatal(err)
-		}
+		cells, err := gridsched.Fig5Context(ctx, suite, sc)
+		check(err)
 		fmt.Println(gridsched.RenderFig5(cells))
 		writeCSV(*csvDir, "fig5.csv", func(w io.Writer) error { return experiments.WriteFig5CSV(w, cells) })
 		fmt.Printf("(fig5 completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
@@ -124,10 +131,8 @@ func main() {
 			log.Fatal(err)
 		}
 		start := time.Now()
-		rows, err := gridsched.Table2(suite, sc)
-		if err != nil {
-			log.Fatal(err)
-		}
+		rows, err := gridsched.Table2Context(ctx, suite, sc)
+		check(err)
 		fmt.Println(gridsched.RenderTable2(rows))
 		wins := 0
 		for _, r := range rows {
@@ -146,10 +151,8 @@ func main() {
 			log.Fatal(err)
 		}
 		start := time.Now()
-		series, err := gridsched.Fig6(inst, sc)
-		if err != nil {
-			log.Fatal(err)
-		}
+		series, err := gridsched.Fig6Context(ctx, inst, sc)
+		check(err)
 		fmt.Println(gridsched.RenderFig6(series))
 		writeCSV(*csvDir, "fig6.csv", func(w io.Writer) error { return experiments.WriteFig6CSV(w, series) })
 		fmt.Printf("(fig6 completed in %v)\n", time.Since(start).Round(time.Millisecond))
@@ -161,13 +164,23 @@ func main() {
 			log.Fatal(err)
 		}
 		start := time.Now()
-		series, err := gridsched.DiversityStudy(inst, sc)
-		if err != nil {
-			log.Fatal(err)
-		}
+		series, err := gridsched.DiversityStudyContext(ctx, inst, sc)
+		check(err)
 		fmt.Println(gridsched.RenderDiversity(series))
 		fmt.Printf("(diversity completed in %v)\n", time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// check aborts on error, mapping cancellation to a clean interrupt
+// message.
+func check(err error) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		log.Fatal("interrupted")
+	}
+	log.Fatal(err)
 }
 
 // writeCSV saves one experiment's raw results when -csv-dir is set.

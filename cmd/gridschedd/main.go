@@ -1,0 +1,96 @@
+// Command gridschedd runs the scheduling service as an HTTP daemon:
+// solve jobs are submitted as JSON, executed on a fixed worker pool
+// through the solver registry, and polled for results.
+//
+// Usage:
+//
+//	gridschedd -addr :8080 -workers 4 -queue 64
+//
+// Endpoints (see the README's "Running as a service" for curl
+// examples):
+//
+//	POST   /v1/jobs       submit a solve job
+//	GET    /v1/jobs       list retained jobs
+//	GET    /v1/jobs/{id}  poll status / fetch the result
+//	DELETE /v1/jobs/{id}  cancel
+//	GET    /v1/solvers    registered solver names
+//	GET    /v1/stats      throughput and latency counters
+//	GET    /healthz       liveness
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: the listener stops
+// accepting, queued and running jobs get -drain-grace to finish, and
+// whatever is still running after the grace period is cancelled
+// through its budget context.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gridsched/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gridschedd: ")
+
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "solve workers (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "job queue capacity (submits beyond it get 429)")
+		ttl     = flag.Duration("result-ttl", 15*time.Minute, "how long finished jobs stay retrievable")
+		cache   = flag.Int("cache", 16, "instance cache capacity (entries)")
+		maxDur  = flag.Duration("max-duration", 5*time.Minute, "cap on any job's wall-clock budget; budget-less jobs get exactly this, so none can hold a worker forever (0 = uncapped)")
+		grace   = flag.Duration("drain-grace", 30*time.Second, "how long shutdown waits for in-flight jobs before cancelling them")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:     *workers,
+		QueueSize:   *queue,
+		ResultTTL:   *ttl,
+		CacheSize:   *cache,
+		MaxDuration: *maxDur,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s (%d workers, queue %d)", *addr, svc.Config().Workers, svc.Config().QueueSize)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+	log.Printf("signal received; draining (grace %v)", *grace)
+
+	// Flip to draining first so clients still connected during the HTTP
+	// drain see 503 from /healthz and ErrClosed on submits, then stop
+	// the listener, then wait out the job drain.
+	svc.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(shutdownCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("drain grace expired; in-flight jobs were cancelled")
+		} else {
+			log.Printf("service shutdown: %v", err)
+		}
+	}
+	log.Printf("drained; bye")
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"gridsched"
+	"gridsched/internal/cliutil"
 	"gridsched/internal/stats"
 )
 
@@ -31,7 +32,7 @@ func main() {
 		mtbfFrac  = flag.Float64("mtbf-frac", 0, "machine MTBF as a fraction of the predicted makespan (0 disables failures)")
 		repair    = flag.Float64("repair-frac", 0.2, "repair time as a fraction of the predicted makespan")
 		runs      = flag.Int("runs", 20, "simulation replications")
-		seed      = flag.Uint64("seed", 1, "base seed")
+		seed      = cliutil.SeedFlag()
 		trace     = flag.Bool("trace", false, "print the event trace of the first run")
 	)
 	flag.Parse()

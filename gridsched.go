@@ -49,6 +49,7 @@ import (
 	"gridsched/internal/operators"
 	"gridsched/internal/rng"
 	"gridsched/internal/schedule"
+	"gridsched/internal/service"
 	"gridsched/internal/solver"
 	"gridsched/internal/stats"
 	"gridsched/internal/topology"
@@ -215,10 +216,22 @@ func DefaultParams() Params { return core.DefaultParams() }
 // Run executes the parallel asynchronous cellular GA.
 func Run(in *Instance, p Params) (*Result, error) { return core.Run(in, p) }
 
+// RunContext is Run with context cancellation: the run stops at the
+// budget or the context, whichever fires first, and reports the best
+// schedule found so far.
+func RunContext(ctx context.Context, in *Instance, p Params) (*Result, error) {
+	return core.RunContext(ctx, in, p)
+}
+
 // RunSync executes the synchronous cellular GA variant (single thread,
 // generation barrier); the substrate of the cMA baseline and the
 // async-vs-sync ablation.
 func RunSync(in *Instance, p Params) (*Result, error) { return core.RunSync(in, p) }
+
+// RunSyncContext is RunSync with context cancellation.
+func RunSyncContext(ctx context.Context, in *Instance, p Params) (*Result, error) {
+	return core.RunSyncContext(ctx, in, p)
+}
 
 // Operator constructors for Params customization.
 
@@ -273,10 +286,20 @@ func RunStruggle(in *Instance, cfg StruggleConfig) (*Result, error) {
 	return baselines.Struggle(in, cfg)
 }
 
+// RunStruggleContext is RunStruggle with context cancellation.
+func RunStruggleContext(ctx context.Context, in *Instance, cfg StruggleConfig) (*Result, error) {
+	return baselines.StruggleContext(ctx, in, cfg)
+}
+
 // RunCMALTH executes the cellular memetic algorithm with local tabu hook
 // of Xhafa et al. (2008).
 func RunCMALTH(in *Instance, cfg CMALTHConfig) (*Result, error) {
 	return baselines.CMALTH(in, cfg)
+}
+
+// RunCMALTHContext is RunCMALTH with context cancellation.
+func RunCMALTHContext(ctx context.Context, in *Instance, cfg CMALTHConfig) (*Result, error) {
+	return baselines.CMALTHContext(ctx, in, cfg)
 }
 
 // GenerationalConfig configures the panmictic generational GA baseline —
@@ -286,6 +309,11 @@ type GenerationalConfig = baselines.GenerationalConfig
 // RunGenerational executes the panmictic generational GA.
 func RunGenerational(in *Instance, cfg GenerationalConfig) (*Result, error) {
 	return baselines.Generational(in, cfg)
+}
+
+// RunGenerationalContext is RunGenerational with context cancellation.
+func RunGenerationalContext(ctx context.Context, in *Instance, cfg GenerationalConfig) (*Result, error) {
+	return baselines.GenerationalContext(ctx, in, cfg)
 }
 
 // IslandConfig configures the distributed island-model cellular GA: the
@@ -298,6 +326,72 @@ type IslandConfig = islands.Config
 func RunIslands(in *Instance, cfg IslandConfig) (*Result, error) {
 	return islands.Run(in, cfg)
 }
+
+// RunIslandsContext is RunIslands with context cancellation.
+func RunIslandsContext(ctx context.Context, in *Instance, cfg IslandConfig) (*Result, error) {
+	return islands.RunContext(ctx, in, cfg)
+}
+
+// --- Scheduling service ---
+
+// Service is the embeddable long-running scheduling service: a job
+// manager, a bounded queue and a fixed worker pool that executes
+// submitted jobs through the solver registry, with per-job contexts
+// riding the shared budget engine, TTL-based result retention, an LRU
+// instance cache, and per-solver throughput/latency stats. The same
+// operations are exposed over HTTP by Service.Handler and served
+// stand-alone by cmd/gridschedd.
+type Service = service.Server
+
+// ServiceConfig parameterizes NewService; its zero value is usable.
+type ServiceConfig = service.Config
+
+// JobSpec is a solve request: a registered solver name, an instance
+// (benchmark class name or inline matrix) and a budget.
+type JobSpec = service.JobSpec
+
+// JobMatrix is an inline ETC matrix inside a JobSpec.
+type JobMatrix = service.MatrixSpec
+
+// Job is an immutable snapshot of a submitted job.
+type Job = service.Job
+
+// JobResult is a finished job's schedule metrics and work counters.
+type JobResult = service.JobResult
+
+// JobState is the job lifecycle state.
+type JobState = service.JobState
+
+// The job lifecycle states: queued → running → done/failed/cancelled.
+const (
+	JobQueued    = service.StateQueued
+	JobRunning   = service.StateRunning
+	JobDone      = service.StateDone
+	JobFailed    = service.StateFailed
+	JobCancelled = service.StateCancelled
+)
+
+// ServiceStats and ServiceSolverStats are the service's counters
+// snapshot.
+type (
+	ServiceStats       = service.Stats
+	ServiceSolverStats = service.SolverStats
+)
+
+// Service sentinel errors.
+var (
+	// ErrQueueFull reports submit backpressure (the bounded queue is at
+	// capacity).
+	ErrQueueFull = service.ErrQueueFull
+	// ErrJobNotFound reports an unknown or already evicted job ID.
+	ErrJobNotFound = service.ErrNotFound
+	// ErrServiceClosed reports a submit after shutdown started.
+	ErrServiceClosed = service.ErrClosed
+)
+
+// NewService starts a scheduling service; stop it with Shutdown (or
+// Close for an immediate cancel-and-drain).
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
 
 // --- Grid simulation (§2.1's dynamic environment) ---
 
@@ -344,14 +438,35 @@ type (
 // iterations (requires a wall-clock scale).
 func Fig4(in *Instance, sc Scale) ([]Fig4Row, error) { return experiments.Fig4(in, sc) }
 
+// Fig4Context is Fig4 under a context: cancellation aborts the
+// experiment with the context's error.
+func Fig4Context(ctx context.Context, in *Instance, sc Scale) ([]Fig4Row, error) {
+	return experiments.Fig4Context(ctx, in, sc)
+}
+
 // Fig5 compares opx/tpx × 5/10 H2LL iterations over instances.
 func Fig5(ins []*Instance, sc Scale) ([]Fig5Cell, error) { return experiments.Fig5(ins, sc) }
+
+// Fig5Context is Fig5 under a context.
+func Fig5Context(ctx context.Context, ins []*Instance, sc Scale) ([]Fig5Cell, error) {
+	return experiments.Fig5Context(ctx, ins, sc)
+}
 
 // Table2 compares PA-CGA against the reimplemented literature baselines.
 func Table2(ins []*Instance, sc Scale) ([]Table2Row, error) { return experiments.Table2(ins, sc) }
 
+// Table2Context is Table2 under a context.
+func Table2Context(ctx context.Context, ins []*Instance, sc Scale) ([]Table2Row, error) {
+	return experiments.Table2Context(ctx, ins, sc)
+}
+
 // Fig6 records population convergence for 1..4 threads.
 func Fig6(in *Instance, sc Scale) ([]Fig6Series, error) { return experiments.Fig6(in, sc) }
+
+// Fig6Context is Fig6 under a context.
+func Fig6Context(ctx context.Context, in *Instance, sc Scale) ([]Fig6Series, error) {
+	return experiments.Fig6Context(ctx, in, sc)
+}
 
 // DiversitySeries is one population model's diversity trajectory.
 type DiversitySeries = experiments.DiversitySeries
@@ -360,6 +475,11 @@ type DiversitySeries = experiments.DiversitySeries
 // genotypic diversity — §3.1's founding claim.
 func DiversityStudy(in *Instance, sc Scale) ([]DiversitySeries, error) {
 	return experiments.DiversityStudy(in, sc)
+}
+
+// DiversityStudyContext is DiversityStudy under a context.
+func DiversityStudyContext(ctx context.Context, in *Instance, sc Scale) ([]DiversitySeries, error) {
+	return experiments.DiversityStudyContext(ctx, in, sc)
 }
 
 // Render helpers (text output in the paper's shape).

@@ -1,0 +1,32 @@
+// Package cliutil holds the flag conventions shared by every command
+// in cmd/, so service and CLI runs are reproducible the same way.
+package cliutil
+
+import "flag"
+
+// DefaultSeed is the base random seed every command defaults to. It
+// matches the registered solvers' default (seed 1), so a bare CLI run,
+// a service job with seed 1 and a library call reproduce each other.
+const DefaultSeed = 1
+
+// SeedUsage is the shared help text of the -seed flag.
+const SeedUsage = "base random seed; equal seeds reproduce equal runs, replication i derives seed+i"
+
+// SeedFlag registers the uniform -seed flag on the default FlagSet.
+func SeedFlag() *uint64 {
+	return flag.Uint64("seed", DefaultSeed, SeedUsage)
+}
+
+// SeedSet reports whether -seed was set explicitly on the command
+// line; call it after flag.Parse. Commands whose unset default is
+// special (etcgen uses the instance's canonical seed) branch on this
+// instead of overloading a magic seed value.
+func SeedSet() bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			set = true
+		}
+	})
+	return set
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -36,6 +37,13 @@ type DiversitySeries struct {
 // models. The only difference left is whether mating is restricted to an
 // L5 neighborhood or global.
 func DiversityStudy(inst *etc.Instance, sc Scale) ([]DiversitySeries, error) {
+	return DiversityStudyContext(context.Background(), inst, sc)
+}
+
+// DiversityStudyContext is DiversityStudy under a context: cancellation
+// stops the current run through the budget engine and aborts the study
+// with the context's error.
+func DiversityStudyContext(ctx context.Context, inst *etc.Instance, sc Scale) ([]DiversitySeries, error) {
 	sc = sc.withDefaults()
 	gens := int64(40)
 
@@ -50,7 +58,7 @@ func DiversityStudy(inst *etc.Instance, sc Scale) ([]DiversitySeries, error) {
 			p.CrossProb, p.MutProb = 0.9, 0.2
 			p.DisableMinMinSeed = true
 			p.RecordDiversity = true
-			res, err := core.Run(inst, p)
+			res, err := core.RunContext(ctx, inst, p)
 			if err != nil {
 				return nil, err
 			}
@@ -65,7 +73,7 @@ func DiversityStudy(inst *etc.Instance, sc Scale) ([]DiversitySeries, error) {
 		{"cellular", cellular(1)},
 		{"cellular-3t", cellular(3)},
 		{"panmictic", func(seed uint64) ([]float64, error) {
-			res, err := baselines.Generational(inst, baselines.GenerationalConfig{
+			res, err := baselines.GenerationalContext(ctx, inst, baselines.GenerationalConfig{
 				PopSize:         256,
 				Seed:            seed,
 				MaxGenerations:  gens,
@@ -84,6 +92,9 @@ func DiversityStudy(inst *etc.Instance, sc Scale) ([]DiversitySeries, error) {
 	for _, m := range models {
 		var perRun [][]float64
 		for run := 0; run < sc.Runs; run++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			series, err := m.run(sc.BaseSeed + uint64(run))
 			if err != nil {
 				return nil, err

@@ -138,6 +138,13 @@ const Fig4MaxThreads = 4
 // evaluation budget would be circular. Replications run sequentially so
 // the measured run has the machine to itself.
 func Fig4(inst *etc.Instance, sc Scale) ([]Fig4Row, error) {
+	return Fig4Context(context.Background(), inst, sc)
+}
+
+// Fig4Context is Fig4 under a context: cancellation stops the current
+// run through the budget engine and aborts the experiment with the
+// context's error.
+func Fig4Context(ctx context.Context, inst *etc.Instance, sc Scale) ([]Fig4Row, error) {
 	sc = sc.withDefaults()
 	if sc.WallTime <= 0 {
 		return nil, fmt.Errorf("experiments: Fig4 needs a wall-clock budget (speedup is evaluations per unit time)")
@@ -148,12 +155,15 @@ func Fig4(inst *etc.Instance, sc Scale) ([]Fig4Row, error) {
 		for threads := 1; threads <= Fig4MaxThreads; threads++ {
 			evals := make([]float64, 0, sc.Runs)
 			for run := 0; run < sc.Runs; run++ {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				p := core.DefaultParams()
 				p.Local = operators.H2LL{Iterations: ls}
 				p.Threads = threads
 				p.Seed = sc.BaseSeed + uint64(run)
 				sc.apply(&p)
-				res, err := core.Run(inst, p)
+				res, err := core.RunContext(ctx, inst, p)
 				if err != nil {
 					return nil, err
 				}
@@ -241,19 +251,28 @@ type Fig5Cell struct {
 // Fig5 runs the four configurations on each instance at the scale's
 // thread count and budget.
 func Fig5(instances []*etc.Instance, sc Scale) ([]Fig5Cell, error) {
+	return Fig5Context(context.Background(), instances, sc)
+}
+
+// Fig5Context is Fig5 under a context; see Fig4Context for the
+// cancellation contract.
+func Fig5Context(ctx context.Context, instances []*etc.Instance, sc Scale) ([]Fig5Cell, error) {
 	sc = sc.withDefaults()
 	var cells []Fig5Cell
 	for _, inst := range instances {
 		for _, cfg := range Fig5Configs() {
 			ms := make([]float64, 0, sc.Runs)
 			for run := 0; run < sc.Runs; run++ {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				p := core.DefaultParams()
 				p.Crossover = cfg.Crossover
 				p.Local = operators.H2LL{Iterations: cfg.LSIters}
 				p.Threads = sc.Threads
 				p.Seed = sc.BaseSeed + uint64(run)
 				sc.apply(&p)
-				res, err := core.Run(inst, p)
+				res, err := core.RunContext(ctx, inst, p)
 				if err != nil {
 					return nil, err
 				}
@@ -396,13 +415,24 @@ func (r Table2Row) BestIsPACGA() bool {
 // equal-compute comparison) and at the full budget (the paper's
 // headline 90 s column).
 func Table2(instances []*etc.Instance, sc Scale) ([]Table2Row, error) {
-	return Table2Solvers(instances, sc, Table2Comparators)
+	return Table2SolversContext(context.Background(), instances, sc, Table2Comparators)
+}
+
+// Table2Context is Table2 under a context; see Fig4Context for the
+// cancellation contract.
+func Table2Context(ctx context.Context, instances []*etc.Instance, sc Scale) ([]Table2Row, error) {
+	return Table2SolversContext(ctx, instances, sc, Table2Comparators)
 }
 
 // Table2Solvers is Table2 with an explicit comparator column list:
 // every name is resolved through the solver registry and run at the
 // short budget through the unified Solver interface.
 func Table2Solvers(instances []*etc.Instance, sc Scale, comparators []string) ([]Table2Row, error) {
+	return Table2SolversContext(context.Background(), instances, sc, comparators)
+}
+
+// Table2SolversContext is Table2Solvers under a context.
+func Table2SolversContext(ctx context.Context, instances []*etc.Instance, sc Scale, comparators []string) ([]Table2Row, error) {
 	sc = sc.withDefaults()
 	solvers := make([]solver.Solver, len(comparators))
 	for i, name := range comparators {
@@ -431,7 +461,6 @@ func Table2Solvers(instances []*etc.Instance, sc Scale, comparators []string) ([
 	pacga := core.PACGA{Params: core.DefaultParams()}
 	pacga.Params.Threads = sc.Threads
 
-	ctx := context.Background()
 	rows := make([]Table2Row, 0, len(instances))
 	for _, inst := range instances {
 		row := Table2Row{Instance: inst.Name, Comparators: make([]Table2Cell, len(comparators))}
@@ -440,6 +469,9 @@ func Table2Solvers(instances []*etc.Instance, sc Scale, comparators []string) ([
 		}
 		var shSum, fSum float64
 		for run := 0; run < sc.Runs; run++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			seed := sc.BaseSeed + uint64(run)
 			for i, s := range solvers {
 				res, err := solver.WithSeed(s, seed).Solve(ctx, inst, shortBudget)
@@ -512,17 +544,26 @@ type Fig6Series struct {
 
 // Fig6 records convergence for 1..4 threads on one instance.
 func Fig6(inst *etc.Instance, sc Scale) ([]Fig6Series, error) {
+	return Fig6Context(context.Background(), inst, sc)
+}
+
+// Fig6Context is Fig6 under a context; see Fig4Context for the
+// cancellation contract.
+func Fig6Context(ctx context.Context, inst *etc.Instance, sc Scale) ([]Fig6Series, error) {
 	sc = sc.withDefaults()
 	var out []Fig6Series
 	for threads := 1; threads <= Fig4MaxThreads; threads++ {
 		var perRun [][]float64
 		for run := 0; run < sc.Runs; run++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			p := core.DefaultParams()
 			p.Threads = threads
 			p.Seed = sc.BaseSeed + uint64(run)
 			p.RecordConvergence = true
 			sc.apply(&p)
-			res, err := core.Run(inst, p)
+			res, err := core.RunContext(ctx, inst, p)
 			if err != nil {
 				return nil, err
 			}

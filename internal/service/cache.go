@@ -1,0 +1,117 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"gridsched/internal/etc"
+)
+
+// instanceCache is a small LRU over generated benchmark instances.
+// Generating one 512×16 Braun matrix costs milliseconds; a service
+// solving the same twelve benchmark classes over and over should pay
+// that once per class, not once per job. Instances are immutable after
+// generation, so cached pointers are shared across concurrent jobs.
+type instanceCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List               // front = most recently used
+	entries  map[string]*list.Element // name -> element holding cacheEntry
+	pending  map[string]*pendingGen   // single-flight: name -> in-progress generation
+	hits     int64
+	misses   int64
+}
+
+type cacheEntry struct {
+	name string
+	inst *etc.Instance
+}
+
+// pendingGen is one in-flight generation; waiters block on done and
+// read inst/err afterwards.
+type pendingGen struct {
+	done chan struct{}
+	inst *etc.Instance
+	err  error
+}
+
+func newInstanceCache(capacity int) *instanceCache {
+	return &instanceCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element, capacity),
+		pending:  make(map[string]*pendingGen),
+	}
+}
+
+// get returns the named benchmark instance, generating and caching it
+// on first use. Generation is single-flight per name: concurrent
+// requests for an uncached name share one generation (and count one
+// miss) instead of each regenerating the matrix.
+func (c *instanceCache) get(name string) (*etc.Instance, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[name]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		inst := el.Value.(cacheEntry).inst
+		c.mu.Unlock()
+		return inst, nil
+	}
+	if p, ok := c.pending[name]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-p.done
+		return p.inst, p.err
+	}
+	c.misses++
+	p := &pendingGen{done: make(chan struct{})}
+	c.pending[name] = p
+	c.mu.Unlock()
+
+	// Generate outside the lock: a miss takes milliseconds and must not
+	// serialize hits on other names behind it.
+	p.inst, p.err = etc.GenerateByName(name)
+
+	c.mu.Lock()
+	delete(c.pending, name)
+	if p.err == nil {
+		c.entries[name] = c.order.PushFront(cacheEntry{name: name, inst: p.inst})
+		for c.order.Len() > c.capacity {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(cacheEntry).name)
+		}
+	}
+	c.mu.Unlock()
+	close(p.done)
+	return p.inst, p.err
+}
+
+// counters reports hits, misses and the current entry count.
+func (c *instanceCache) counters() (hits, misses int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.order.Len()
+}
+
+// resolveInstance materializes the spec's instance: an inline matrix
+// is built directly (no caching — it is client data), a named
+// benchmark class goes through the LRU cache.
+func (s *Server) resolveInstance(spec JobSpec) (*etc.Instance, error) {
+	switch {
+	case spec.Matrix != nil && spec.Instance != "":
+		return nil, fmt.Errorf("service: spec sets both instance %q and an inline matrix", spec.Instance)
+	case spec.Matrix != nil:
+		m := spec.Matrix
+		name := m.Name
+		if name == "" {
+			name = "inline"
+		}
+		return etc.New(name, m.Tasks, m.Machines, m.ETC)
+	case spec.Instance != "":
+		return s.cache.get(spec.Instance)
+	default:
+		return nil, fmt.Errorf("service: spec needs an instance name or an inline matrix")
+	}
+}

@@ -1,0 +1,71 @@
+package service
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestInstanceCacheLRU(t *testing.T) {
+	c := newInstanceCache(2)
+
+	a1, err := c.get("u_c_hihi.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.get("u_c_lolo.0"); err != nil {
+		t.Fatal(err)
+	}
+	// Hit: same pointer back, no regeneration.
+	a2, err := c.get("u_c_hihi.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Error("cache hit returned a different instance pointer")
+	}
+
+	// Third distinct name evicts the least recently used (u_c_lolo.0).
+	if _, err := c.get("u_i_hihi.0"); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, entries := c.counters()
+	if hits != 1 || misses != 3 || entries != 2 {
+		t.Errorf("counters = %d hits, %d misses, %d entries; want 1/3/2", hits, misses, entries)
+	}
+	// u_c_lolo.0 was evicted: fetching it again is a miss.
+	if _, err := c.get("u_c_lolo.0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses, _ := c.counters(); misses != 4 {
+		t.Errorf("misses after refetch = %d, want 4", misses)
+	}
+
+	// Unknown names propagate the generator's error and stay uncached.
+	if _, err := c.get("bogus"); err == nil {
+		t.Error("cache accepted an invalid instance name")
+	}
+}
+
+func TestInstanceCacheConcurrent(t *testing.T) {
+	c := newInstanceCache(4)
+	var wg sync.WaitGroup
+	ptrs := make([]interface{}, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			inst, err := c.get("u_s_hilo.0")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ptrs[i] = inst
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(ptrs); i++ {
+		if ptrs[i] != ptrs[0] {
+			t.Fatal("concurrent gets for one name returned different instances")
+		}
+	}
+}

@@ -1,0 +1,330 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"gridsched/internal/solver"
+)
+
+// Handler returns the service's HTTP/JSON API:
+//
+//	POST   /v1/jobs       submit a job (202; 429 when the queue is full)
+//	GET    /v1/jobs       list retained jobs, newest first
+//	GET    /v1/jobs/{id}  job status and, once finished, its result
+//	DELETE /v1/jobs/{id}  cancel a queued or running job
+//	GET    /v1/solvers    the registered solver names and descriptions
+//	GET    /v1/stats      service and per-solver counters
+//	GET    /healthz       liveness (503 while draining)
+//
+// Durations in request and response bodies are Go duration strings
+// ("90s", "1.5m"). A job's task→machine assignment is large (one int
+// per task), so GET /v1/jobs/{id} includes it only when asked:
+// ?include=assignment.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// jobRequest is the submit body.
+type jobRequest struct {
+	Solver   string      `json:"solver"`
+	Instance string      `json:"instance,omitempty"`
+	Matrix   *matrixJSON `json:"matrix,omitempty"`
+	Budget   *budgetJSON `json:"budget,omitempty"`
+	Seed     uint64      `json:"seed,omitempty"`
+}
+
+type matrixJSON struct {
+	Name     string    `json:"name,omitempty"`
+	Tasks    int       `json:"tasks"`
+	Machines int       `json:"machines"`
+	ETC      []float64 `json:"etc"`
+}
+
+// budgetJSON mirrors solver.Budget with the duration as a string.
+type budgetJSON struct {
+	MaxDuration    string `json:"max_duration,omitempty"`
+	MaxEvaluations int64  `json:"max_evaluations,omitempty"`
+	MaxGenerations int64  `json:"max_generations,omitempty"`
+}
+
+func (b *budgetJSON) toBudget() (solver.Budget, error) {
+	if b == nil {
+		return solver.Budget{}, nil
+	}
+	out := solver.Budget{
+		MaxEvaluations: b.MaxEvaluations,
+		MaxGenerations: b.MaxGenerations,
+	}
+	if b.MaxDuration != "" {
+		d, err := time.ParseDuration(b.MaxDuration)
+		if err != nil {
+			return solver.Budget{}, fmt.Errorf("budget.max_duration: %w", err)
+		}
+		out.MaxDuration = d
+	}
+	return out, nil
+}
+
+func budgetToJSON(b solver.Budget) *budgetJSON {
+	if b.IsZero() {
+		return nil
+	}
+	out := &budgetJSON{
+		MaxEvaluations: b.MaxEvaluations,
+		MaxGenerations: b.MaxGenerations,
+	}
+	if b.MaxDuration > 0 {
+		out.MaxDuration = b.MaxDuration.String()
+	}
+	return out
+}
+
+// jobJSON is the wire shape of a Job snapshot.
+type jobJSON struct {
+	ID       string      `json:"id"`
+	Solver   string      `json:"solver"`
+	Instance string      `json:"instance"`
+	Tasks    int         `json:"tasks"`
+	Machines int         `json:"machines"`
+	State    JobState    `json:"state"`
+	Budget   *budgetJSON `json:"budget,omitempty"`
+	Seed     uint64      `json:"seed,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	Wait        string     `json:"wait,omitempty"`
+
+	Error  string         `json:"error,omitempty"`
+	Result *jobResultJSON `json:"result,omitempty"`
+}
+
+type jobResultJSON struct {
+	Makespan         float64 `json:"makespan"`
+	Flowtime         float64 `json:"flowtime"`
+	Utilization      float64 `json:"utilization"`
+	ImbalanceCV      float64 `json:"imbalance_cv"`
+	Evaluations      int64   `json:"evaluations"`
+	Generations      int64   `json:"generations"`
+	LocalSearchMoves int64   `json:"local_search_moves"`
+	Duration         string  `json:"duration"`
+	Assignment       []int   `json:"assignment,omitempty"`
+}
+
+func jobToJSON(j Job, includeAssignment bool) jobJSON {
+	out := jobJSON{
+		ID:          j.ID,
+		Solver:      j.Solver,
+		Instance:    j.Instance,
+		Tasks:       j.Tasks,
+		Machines:    j.Machines,
+		State:       j.State,
+		Budget:      budgetToJSON(j.Budget),
+		Seed:        j.Seed,
+		SubmittedAt: j.SubmittedAt,
+		Error:       j.Error,
+	}
+	if !j.StartedAt.IsZero() {
+		t := j.StartedAt
+		out.StartedAt = &t
+		out.Wait = j.Wait().String()
+	}
+	if !j.FinishedAt.IsZero() {
+		t := j.FinishedAt
+		out.FinishedAt = &t
+	}
+	if r := j.Result; r != nil {
+		out.Result = &jobResultJSON{
+			Makespan:         r.Makespan,
+			Flowtime:         r.Flowtime,
+			Utilization:      r.Utilization,
+			ImbalanceCV:      r.ImbalanceCV,
+			Evaluations:      r.Evaluations,
+			Generations:      r.Generations,
+			LocalSearchMoves: r.LocalSearchMoves,
+			Duration:         r.Duration.String(),
+		}
+		if includeAssignment {
+			out.Result.Assignment = r.Assignment
+		}
+	}
+	return out
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	budget, err := req.Budget.toBudget()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec := JobSpec{
+		Solver:   req.Solver,
+		Instance: req.Instance,
+		Budget:   budget,
+		Seed:     req.Seed,
+	}
+	if req.Matrix != nil {
+		spec.Matrix = &MatrixSpec{
+			Name:     req.Matrix.Name,
+			Tasks:    req.Matrix.Tasks,
+			Machines: req.Matrix.Machines,
+			ETC:      req.Matrix.ETC,
+		}
+	}
+	job, err := s.Submit(spec)
+	if err != nil {
+		httpError(w, submitStatus(err), err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, jobToJSON(job, false))
+}
+
+// submitStatus maps Submit errors to HTTP statuses.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	out := make([]jobJSON, len(jobs))
+	for i, j := range jobs {
+		out[i] = jobToJSON(j, false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobToJSON(j, r.URL.Query().Get("include") == "assignment"))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobToJSON(j, false))
+}
+
+func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
+	type solverJSON struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+	}
+	var out []solverJSON
+	for _, name := range solver.Names() {
+		sv, err := solver.Lookup(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, solverJSON{Name: name, Description: sv.Describe()})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"solvers": out})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	type solverStatsJSON struct {
+		Solver         string  `json:"solver"`
+		Done           int64   `json:"done"`
+		Failed         int64   `json:"failed"`
+		Cancelled      int64   `json:"cancelled"`
+		Evaluations    int64   `json:"evaluations"`
+		BusyTime       string  `json:"busy_time"`
+		MeanLatency    string  `json:"mean_latency"`
+		MaxLatency     string  `json:"max_latency"`
+		EvalsPerSecond float64 `json:"evals_per_second"`
+	}
+	solvers := make([]solverStatsJSON, len(st.Solvers))
+	for i, sv := range st.Solvers {
+		solvers[i] = solverStatsJSON{
+			Solver:         sv.Solver,
+			Done:           sv.Done,
+			Failed:         sv.Failed,
+			Cancelled:      sv.Cancelled,
+			Evaluations:    sv.Evaluations,
+			BusyTime:       sv.BusyTime.String(),
+			MeanLatency:    sv.MeanLatency.String(),
+			MaxLatency:     sv.MaxLatency.String(),
+			EvalsPerSecond: sv.EvalsPerSecond,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime":         st.Uptime.String(),
+		"workers":        st.Workers,
+		"queue_capacity": st.QueueCapacity,
+		"queued":         st.Queued,
+		"running":        st.Running,
+		"retained":       st.Retained,
+		"evicted":        st.Evicted,
+		"cache": map[string]any{
+			"hits":    st.CacheHits,
+			"misses":  st.CacheMisses,
+			"entries": st.CacheEntries,
+		},
+		"solvers": solvers,
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"uptime": time.Since(s.start).String(),
+	})
+}
+
+// Draining reports whether Shutdown has started; the health endpoint
+// uses it to fail liveness so load balancers stop routing here.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]any{"error": err.Error()})
+}

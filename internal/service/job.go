@@ -1,0 +1,245 @@
+package service
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"gridsched/internal/etc"
+	"gridsched/internal/solver"
+)
+
+// JobState is the lifecycle state of a job: queued → running →
+// done | failed | cancelled.
+type JobState string
+
+// The job lifecycle states.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (st JobState) Terminal() bool {
+	return st == StateDone || st == StateFailed || st == StateCancelled
+}
+
+// JobSpec is a solve request: which solver, on which instance, under
+// what budget. Exactly one of Instance (a benchmark class name,
+// resolved through the instance cache) or Matrix (an inline ETC
+// matrix) must be set.
+type JobSpec struct {
+	// Solver is the registry name to dispatch to (see solver.Names).
+	Solver string
+	// Instance names a Braun benchmark instance, e.g. "u_c_hihi.0".
+	Instance string
+	// Matrix is an inline instance; it bypasses the cache.
+	Matrix *MatrixSpec
+	// Budget bounds the run; the server may clamp MaxDuration.
+	Budget solver.Budget
+	// Seed, when non-zero, reseeds the solver (see solver.WithSeed).
+	Seed uint64
+}
+
+// MatrixSpec is an inline ETC matrix: row-major tasks×machines
+// expected execution times.
+type MatrixSpec struct {
+	Name     string
+	Tasks    int
+	Machines int
+	ETC      []float64
+}
+
+// Job is an immutable snapshot of one job's state, safe to retain and
+// serialize. Result is non-nil once the job produced one (done, or
+// cancelled mid-run with a partial best).
+type Job struct {
+	ID       string
+	Solver   string
+	Instance string
+	Tasks    int
+	Machines int
+	Budget   solver.Budget
+	Seed     uint64
+	State    JobState
+
+	SubmittedAt time.Time
+	StartedAt   time.Time
+	FinishedAt  time.Time
+
+	// Error holds the failure message for StateFailed.
+	Error  string
+	Result *JobResult
+}
+
+// Wait is how long the job sat in the queue (zero while queued).
+func (j Job) Wait() time.Duration {
+	if j.StartedAt.IsZero() {
+		return 0
+	}
+	return j.StartedAt.Sub(j.SubmittedAt)
+}
+
+// JobResult is the client-facing result shape: the schedule's quality
+// metrics, the solver's work counters, and the task→machine
+// assignment.
+type JobResult struct {
+	Makespan         float64
+	Flowtime         float64
+	Utilization      float64
+	ImbalanceCV      float64
+	Evaluations      int64
+	Generations      int64
+	LocalSearchMoves int64
+	Duration         time.Duration
+	Assignment       []int
+}
+
+// job is the manager's mutable record behind Job snapshots.
+type job struct {
+	id     string
+	spec   JobSpec
+	solver solver.Solver
+	inst   *etc.Instance
+	budget solver.Budget
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	st        JobState
+	cancelReq bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	result    *solver.Result
+	err       error
+}
+
+func newJob(id string, spec JobSpec, sv solver.Solver, inst *etc.Instance, b solver.Budget, parent context.Context) *job {
+	ctx, cancel := context.WithCancel(parent)
+	return &job{
+		id:        id,
+		spec:      spec,
+		solver:    sv,
+		inst:      inst,
+		budget:    b,
+		ctx:       ctx,
+		cancel:    cancel,
+		st:        StateQueued,
+		submitted: time.Now(),
+	}
+}
+
+// begin transitions queued → running; it returns false when the job
+// was cancelled while queued, in which case the worker must skip it.
+func (j *job) begin() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.st != StateQueued {
+		return false
+	}
+	j.st = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish records the solver's outcome. Cancellation wins over the
+// solver's (typically partial but error-free) return: a run that was
+// asked to stop reports StateCancelled even though the solver
+// surfaced its best-so-far.
+func (j *job) finish(res *solver.Result, err error) {
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.result = res
+	switch {
+	case err != nil:
+		j.st = StateFailed
+		j.err = err
+	case j.cancelReq || j.ctx.Err() != nil:
+		j.st = StateCancelled
+	default:
+		j.st = StateDone
+	}
+	j.mu.Unlock()
+	j.cancel() // release the context's resources
+}
+
+// requestCancel marks the job for cancellation. A queued job is
+// finalized on the spot; a running one is signalled through its
+// context and finalized by finish.
+func (j *job) requestCancel() {
+	j.mu.Lock()
+	if j.st.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.cancelReq = true
+	if j.st == StateQueued {
+		j.st = StateCancelled
+		j.finished = time.Now()
+	}
+	j.mu.Unlock()
+	j.cancel()
+}
+
+// release frees the job's context when it was never enqueued.
+func (j *job) release() { j.cancel() }
+
+func (j *job) state() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.st
+}
+
+// doneAt reports whether the job is terminal and since when.
+func (j *job) doneAt() (bool, time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.st.Terminal(), j.finished
+}
+
+// snapshot builds the public view under the job lock.
+func (j *job) snapshot() Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := Job{
+		ID:          j.id,
+		Solver:      j.spec.Solver,
+		Instance:    j.inst.Name,
+		Tasks:       j.inst.T,
+		Machines:    j.inst.M,
+		Budget:      j.budget,
+		Seed:        j.spec.Seed,
+		State:       j.st,
+		SubmittedAt: j.submitted,
+		StartedAt:   j.started,
+		FinishedAt:  j.finished,
+	}
+	if j.err != nil {
+		out.Error = j.err.Error()
+	}
+	if r := j.result; r != nil && r.Best != nil {
+		out.Result = &JobResult{
+			Makespan:         r.BestFitness,
+			Flowtime:         r.Best.Flowtime(),
+			Utilization:      r.Best.Utilization(),
+			ImbalanceCV:      r.Best.ImbalanceCV(),
+			Evaluations:      r.Evaluations,
+			Generations:      r.Generations,
+			LocalSearchMoves: r.LocalSearchMoves,
+			Duration:         r.Duration,
+			Assignment:       append([]int(nil), r.Best.S...),
+		}
+	}
+	return out
+}
+
+// sortJobs orders snapshots newest first (IDs are monotonic).
+func sortJobs(jobs []Job) {
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].ID > jobs[b].ID })
+}

@@ -1,0 +1,352 @@
+// Package service turns the solver library into a long-running
+// scheduling service: clients submit solve jobs (an ETC instance spec
+// or an inline matrix, a registered solver name, and a budget), jobs
+// queue on a bounded channel, and a fixed pool of workers executes
+// them through solver.Lookup with a per-job context, so cancellation
+// and deadlines ride the shared budget engine.
+//
+// Around that core the package provides a job manager with stable job
+// IDs and a queued → running → done/failed/cancelled lifecycle, result
+// retention with TTL-based eviction, an LRU instance cache (the twelve
+// benchmark ETC matrices are generated once and shared across jobs),
+// and per-solver throughput/latency counters exposed as a stats
+// snapshot.
+//
+// Server is embeddable from Go (re-exported on the gridsched facade);
+// Handler exposes the same operations as an HTTP/JSON API, served
+// stand-alone by cmd/gridschedd.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"gridsched/internal/solver"
+
+	// The service dispatches by registry name; force-link every
+	// self-registering solver family so a Server embedded without the
+	// gridsched facade still sees the full registry.
+	_ "gridsched/internal/baselines"
+	_ "gridsched/internal/core"
+	_ "gridsched/internal/heuristics"
+	_ "gridsched/internal/islands"
+	_ "gridsched/internal/tabu"
+)
+
+// Sentinel errors mapped to HTTP statuses by the handler.
+var (
+	// ErrQueueFull rejects a submit when the bounded job queue is at
+	// capacity (backpressure; HTTP 429).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrClosed rejects operations after Shutdown started.
+	ErrClosed = errors.New("service: server closed")
+	// ErrNotFound reports an unknown (or already evicted) job ID.
+	ErrNotFound = errors.New("service: job not found")
+)
+
+// Config parameterizes a Server. The zero value is usable: every field
+// falls back to the default documented on it.
+type Config struct {
+	// Workers is the number of concurrent solve workers (default
+	// GOMAXPROCS). Each worker runs one job at a time.
+	Workers int
+	// QueueSize bounds the job queue; submits beyond it fail with
+	// ErrQueueFull (default 64).
+	QueueSize int
+	// ResultTTL is how long a finished job (done, failed or cancelled)
+	// stays retrievable before the janitor evicts it (default 15 min).
+	ResultTTL time.Duration
+	// SweepInterval is how often the janitor scans for expired results
+	// (default ResultTTL/4, floored at one second).
+	SweepInterval time.Duration
+	// CacheSize bounds the LRU instance cache in entries (default 16 —
+	// room for the whole 12-instance benchmark suite).
+	CacheSize int
+	// MaxDuration caps every job's wall-clock budget; specs asking for
+	// more (or for no time bound at all) are clamped to it. Zero means
+	// no cap.
+	MaxDuration time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.ResultTTL <= 0 {
+		c.ResultTTL = 15 * time.Minute
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = c.ResultTTL / 4
+		if c.SweepInterval < time.Second {
+			c.SweepInterval = time.Second
+		}
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 16
+	}
+	return c
+}
+
+// Server is the scheduling service: a job manager, a bounded queue, a
+// worker pool and an instance cache behind one embeddable API. Create
+// it with New, submit with Submit, and stop it with Shutdown. All
+// methods are safe for concurrent use.
+type Server struct {
+	cfg   Config
+	cache *instanceCache
+	stats *statsBook
+	start time.Time
+
+	baseCtx context.Context // parent of every job context
+	stop    context.CancelFunc
+
+	queue   chan *job
+	workers sync.WaitGroup
+	janitor sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	seq    uint64
+	jobs   map[string]*job
+}
+
+// New starts a Server: its worker pool and retention janitor run until
+// Shutdown.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		cache:   newInstanceCache(cfg.CacheSize),
+		stats:   newStatsBook(),
+		start:   time.Now(),
+		baseCtx: ctx,
+		stop:    cancel,
+		queue:   make(chan *job, cfg.QueueSize),
+		jobs:    make(map[string]*job),
+	}
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	s.janitor.Add(1)
+	go s.sweepLoop()
+	return s
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Submit validates the spec, assigns a job ID and enqueues the job.
+// It fails fast: an unknown solver or a bad instance spec is reported
+// here (never as a failed job), and a full queue returns ErrQueueFull
+// so callers can apply backpressure.
+func (s *Server) Submit(spec JobSpec) (Job, error) {
+	sv, err := solver.Lookup(spec.Solver)
+	if err != nil {
+		return Job{}, err
+	}
+	inst, err := s.resolveInstance(spec)
+	if err != nil {
+		return Job{}, err
+	}
+	budget := spec.Budget
+	if s.cfg.MaxDuration > 0 && (budget.MaxDuration <= 0 || budget.MaxDuration > s.cfg.MaxDuration) {
+		budget.MaxDuration = s.cfg.MaxDuration
+	}
+	if spec.Seed != 0 {
+		sv = solver.WithSeed(sv, spec.Seed)
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Job{}, ErrClosed
+	}
+	s.seq++
+	j := newJob(fmt.Sprintf("j%08d", s.seq), spec, sv, inst, budget, s.baseCtx)
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		j.release()
+		return Job{}, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	return j.snapshot(), nil
+}
+
+// Job returns a snapshot of the identified job.
+func (s *Server) Job(id string) (Job, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	return j.snapshot(), nil
+}
+
+// Jobs snapshots every retained job, newest first.
+func (s *Server) Jobs() []Job {
+	s.mu.Lock()
+	out := make([]Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.snapshot())
+	}
+	s.mu.Unlock()
+	sortJobs(out)
+	return out
+}
+
+// Cancel requests cancellation of a job. A queued job is marked
+// cancelled immediately (workers skip it); a running job has its
+// context cancelled, which stops the solver at the budget engine's
+// next poll. Cancelling a finished job is a no-op. The returned
+// snapshot reflects the state after the request.
+func (s *Server) Cancel(id string) (Job, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	j.requestCancel()
+	return j.snapshot(), nil
+}
+
+// Stats returns the service-level and per-solver counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	queued, running := 0, 0
+	for _, j := range s.jobs {
+		switch j.state() {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		}
+	}
+	retained := len(s.jobs)
+	s.mu.Unlock()
+	hits, misses, entries := s.cache.counters()
+	return s.stats.snapshot(statsEnv{
+		uptime:       time.Since(s.start),
+		workers:      s.cfg.Workers,
+		queueCap:     s.cfg.QueueSize,
+		queued:       queued,
+		running:      running,
+		retained:     retained,
+		cacheHits:    hits,
+		cacheMisses:  misses,
+		cacheEntries: entries,
+	})
+}
+
+// BeginDrain marks the server draining without waiting: submits are
+// refused with ErrClosed, the health endpoint reports 503, queued and
+// running jobs continue. Call it before stopping an HTTP frontend so
+// in-flight clients observe the draining state; Shutdown calls it
+// implicitly. Idempotent.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		close(s.queue) // no sends after closed=true, so this is safe
+	}
+}
+
+// Shutdown drains the service: submits are refused, queued jobs still
+// execute, and Shutdown returns when every worker has exited — unless
+// ctx expires first, in which case all in-flight jobs are cancelled
+// (through their budget contexts) and the drain completes as fast as
+// the solvers' cancellation polls allow. The janitor is always
+// stopped. Shutdown is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.stop() // cancel every in-flight job, then finish the drain
+		<-done
+	}
+	s.stop()
+	s.janitor.Wait()
+	return err
+}
+
+// Close is Shutdown with no deadline: it cancels in-flight work
+// immediately and waits for the pool to exit.
+func (s *Server) Close() error {
+	s.stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.Shutdown(ctx)
+	if errors.Is(err, context.Canceled) {
+		err = nil
+	}
+	return err
+}
+
+// worker pulls jobs off the queue until the queue is closed and
+// drained. A job cancelled while queued is retired without running.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		if j.begin() {
+			res, err := j.solver.Solve(j.ctx, j.inst, j.budget)
+			j.finish(res, err)
+		}
+		// Fold the retired job (ran or cancelled-while-queued) into the
+		// per-solver counters.
+		s.stats.finished(j.spec.Solver, j.snapshot())
+	}
+}
+
+// sweepLoop evicts finished jobs past their retention TTL.
+func (s *Server) sweepLoop() {
+	defer s.janitor.Done()
+	tick := time.NewTicker(s.cfg.SweepInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-tick.C:
+			s.evictExpired(time.Now())
+		}
+	}
+}
+
+// evictExpired drops every terminal job whose doneAt is older than the
+// retention TTL.
+func (s *Server) evictExpired(now time.Time) {
+	cutoff := now.Add(-s.cfg.ResultTTL)
+	s.mu.Lock()
+	for id, j := range s.jobs {
+		if done, at := j.doneAt(); done && at.Before(cutoff) {
+			delete(s.jobs, id)
+			s.stats.noteEvicted()
+		}
+	}
+	s.mu.Unlock()
+}

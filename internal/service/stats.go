@@ -1,0 +1,148 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SolverStats aggregates the finished jobs of one solver name.
+type SolverStats struct {
+	Solver    string
+	Done      int64
+	Failed    int64
+	Cancelled int64
+	// Evaluations sums the fitness evaluations of every finished run —
+	// the paper's throughput currency.
+	Evaluations int64
+	// BusyTime sums wall time spent solving (queue wait excluded).
+	BusyTime time.Duration
+	// MeanLatency and MaxLatency summarize per-run solve time.
+	MeanLatency time.Duration
+	MaxLatency  time.Duration
+	// EvalsPerSecond is the solver's aggregate evaluation throughput.
+	EvalsPerSecond float64
+}
+
+// Stats is a point-in-time snapshot of the service.
+type Stats struct {
+	Uptime        time.Duration
+	Workers       int
+	QueueCapacity int
+	Queued        int
+	Running       int
+	Retained      int
+	Evicted       int64
+
+	CacheHits    int64
+	CacheMisses  int64
+	CacheEntries int
+
+	Solvers []SolverStats
+}
+
+// statsBook accumulates per-solver counters; workers report into it as
+// jobs retire.
+type statsBook struct {
+	mu      sync.Mutex
+	evicted int64
+	perName map[string]*solverCounters
+}
+
+type solverCounters struct {
+	done, failed, cancelled int64
+	evaluations             int64
+	busy                    time.Duration
+	maxLatency              time.Duration
+	ran                     int64
+}
+
+func newStatsBook() *statsBook {
+	return &statsBook{perName: make(map[string]*solverCounters)}
+}
+
+// finished folds a retired job's snapshot into its solver's counters.
+func (b *statsBook) finished(solverName string, j Job) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.perName[solverName]
+	if c == nil {
+		c = &solverCounters{}
+		b.perName[solverName] = c
+	}
+	switch j.State {
+	case StateDone:
+		c.done++
+	case StateFailed:
+		c.failed++
+	case StateCancelled:
+		c.cancelled++
+	}
+	if !j.StartedAt.IsZero() && !j.FinishedAt.IsZero() {
+		latency := j.FinishedAt.Sub(j.StartedAt)
+		c.busy += latency
+		c.ran++
+		if latency > c.maxLatency {
+			c.maxLatency = latency
+		}
+	}
+	if j.Result != nil {
+		c.evaluations += j.Result.Evaluations
+	}
+}
+
+func (b *statsBook) noteEvicted() {
+	b.mu.Lock()
+	b.evicted++
+	b.mu.Unlock()
+}
+
+// statsEnv carries the server-level gauges into snapshot.
+type statsEnv struct {
+	uptime       time.Duration
+	workers      int
+	queueCap     int
+	queued       int
+	running      int
+	retained     int
+	cacheHits    int64
+	cacheMisses  int64
+	cacheEntries int
+}
+
+func (b *statsBook) snapshot(env statsEnv) Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := Stats{
+		Uptime:        env.uptime,
+		Workers:       env.workers,
+		QueueCapacity: env.queueCap,
+		Queued:        env.queued,
+		Running:       env.running,
+		Retained:      env.retained,
+		Evicted:       b.evicted,
+		CacheHits:     env.cacheHits,
+		CacheMisses:   env.cacheMisses,
+		CacheEntries:  env.cacheEntries,
+	}
+	for name, c := range b.perName {
+		s := SolverStats{
+			Solver:      name,
+			Done:        c.done,
+			Failed:      c.failed,
+			Cancelled:   c.cancelled,
+			Evaluations: c.evaluations,
+			BusyTime:    c.busy,
+			MaxLatency:  c.maxLatency,
+		}
+		if c.ran > 0 {
+			s.MeanLatency = c.busy / time.Duration(c.ran)
+		}
+		if c.busy > 0 {
+			s.EvalsPerSecond = float64(c.evaluations) / c.busy.Seconds()
+		}
+		out.Solvers = append(out.Solvers, s)
+	}
+	sort.Slice(out.Solvers, func(i, j int) bool { return out.Solvers[i].Solver < out.Solvers[j].Solver })
+	return out
+}
