@@ -1,0 +1,118 @@
+// Command benchguard gates CI on benchmark regressions: it parses
+// `go test -bench` output (a file argument or stdin), compares every
+// benchmark recorded in the checked-in baseline, and exits non-zero
+// when one slowed beyond the threshold or disappeared from the run.
+//
+// Usage:
+//
+//	go test -run '^$' -bench '^Benchmark(IncrementalEval|FullRecomputeEval|ETCLayout|H2LLCandidates)' . | go run ./cmd/benchguard
+//	go run ./cmd/benchguard -baseline BENCH_baseline.json bench.txt
+//	go test -run '^$' -bench '...' . | go run ./cmd/benchguard -update
+//
+// -update rewrites the baseline from the current run (keeping the
+// configured threshold) instead of comparing; commit the result when a
+// deliberate change moves the numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"gridsched/internal/benchcmp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchguard: ")
+
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline file to compare against (or rewrite with -update)")
+		threshold    = flag.Float64("threshold", 0, "relative slowdown that fails the guard (0 = baseline's own threshold, default 0.25)")
+		update       = flag.Bool("update", false, "rewrite the baseline from the current run instead of comparing")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	src := "stdin"
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in, src = f, flag.Arg(0)
+	}
+
+	current, err := benchcmp.Parse(in)
+	if err != nil {
+		log.Fatalf("parsing %s: %v", src, err)
+	}
+
+	if *update {
+		updateBaseline(*baselinePath, *threshold, current)
+		return
+	}
+
+	bf, err := os.Open(*baselinePath)
+	if err != nil {
+		log.Fatalf("%v (run with -update to create it)", err)
+	}
+	base, err := benchcmp.ReadBaseline(bf)
+	bf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	results, ok := benchcmp.Compare(base, current, *threshold)
+	for _, r := range results {
+		switch {
+		case r.Missing:
+			fmt.Printf("MISSING  %-45s baseline %.4g ns/op, absent from this run\n", r.Name, r.Baseline)
+		case r.Regressed:
+			fmt.Printf("REGRESS  %-45s %.4g -> %.4g ns/op (%+.1f%%)\n", r.Name, r.Baseline, r.Current, 100*r.Delta)
+		default:
+			fmt.Printf("ok       %-45s %.4g -> %.4g ns/op (%+.1f%%)\n", r.Name, r.Baseline, r.Current, 100*r.Delta)
+		}
+	}
+	if !ok {
+		log.Fatalf("benchmark guard failed against %s", *baselinePath)
+	}
+	fmt.Printf("benchmark guard passed: %d benchmarks within threshold\n", len(results))
+}
+
+// updateBaseline rewrites the baseline from the current measurements,
+// preserving an existing file's threshold and note unless overridden.
+func updateBaseline(path string, threshold float64, current map[string]float64) {
+	base := benchcmp.Baseline{
+		Note:      "Absolute ns/op from the machine that last ran -update; regenerate from CI-representative hardware with: go test -run '^$' -bench '^Benchmark(IncrementalEval|FullRecomputeEval|ETCLayout|H2LLCandidates)' -benchtime 0.2s -count 3 . | go run ./cmd/benchguard -update",
+		Threshold: 0.25,
+	}
+	if f, err := os.Open(path); err == nil {
+		if prev, perr := benchcmp.ReadBaseline(f); perr == nil {
+			base.Note, base.Threshold = prev.Note, prev.Threshold
+		}
+		f.Close()
+	}
+	if threshold > 0 {
+		base.Threshold = threshold
+	}
+	base.Benchmarks = make(map[string]benchcmp.Entry, len(current))
+	for name, ns := range current {
+		base.Benchmarks[name] = benchcmp.Entry{NsPerOp: ns}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := benchcmp.WriteBaseline(f, base); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s with %d benchmarks (threshold %.0f%%)\n", path, len(base.Benchmarks), 100*base.Threshold)
+}

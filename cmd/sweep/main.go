@@ -1,0 +1,137 @@
+// Command sweep runs the scenario sweep: every requested solver ×
+// every requested Braun benchmark class, fanned out over the scheduling
+// service's worker pool, with a per-solver × per-class quality/latency
+// report on stdout and optionally as CSV.
+//
+// Usage:
+//
+//	sweep -classes all                        # full 12-class matrix, every solver
+//	sweep -classes u_c_hihi.0,u_i_lolo.0 -solvers pa-cga,minmin,tabu
+//	sweep -tasks 128 -machines 8 -evals 20000 -csv sweep.csv
+//	sweep -maxtime 2s -solvers pa-cga         # wall-clock budget per job
+//
+// The sweep aborts cleanly on SIGINT/SIGTERM: outstanding jobs are
+// cancelled through their budget contexts.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gridsched"
+	"gridsched/internal/cliutil"
+	"gridsched/internal/etc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+
+	var (
+		classesFlag = flag.String("classes", "all", "comma-separated class names (u_x_yyzz[.k] or x-yyzz), or \"all\" for the 12-class matrix")
+		solversFlag = flag.String("solvers", "all", "comma-separated registered solver names, or \"all\"")
+		tasks       = flag.Int("tasks", etc.DefaultTasks, "tasks per instance")
+		machines    = flag.Int("machines", etc.DefaultMachines, "machines per instance")
+		evals       = flag.Int64("evals", 0, "evaluation budget per job (0 with no other bound: 5000)")
+		gens        = flag.Int64("gens", 0, "generation budget per job (0 = unbounded)")
+		maxtime     = flag.Duration("maxtime", 0, "wall-clock budget per job (0 = unbounded)")
+		seed        = cliutil.SeedFlag()
+		workers     = flag.Int("workers", 0, "service worker pool size (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 0, "service queue bound (0 = default; submits beyond it back-pressure)")
+		csvPath     = flag.String("csv", "", "also write the report as CSV to this file")
+		timeout     = flag.Duration("timeout", 30*time.Minute, "overall sweep deadline")
+		list        = flag.Bool("list-solvers", false, "list registered solvers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range gridsched.Solvers() {
+			fmt.Printf("  %-14s %s\n", s.Name, s.Description)
+		}
+		return
+	}
+
+	classes, err := parseClasses(*classesFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var solvers []string
+	if *solversFlag != "all" && *solversFlag != "" {
+		for _, name := range strings.Split(*solversFlag, ",") {
+			solvers = append(solvers, strings.TrimSpace(name))
+		}
+	}
+
+	cfg := gridsched.SweepConfig{
+		Classes:   classes,
+		Tasks:     *tasks,
+		Machines:  *machines,
+		Solvers:   solvers,
+		Budget:    gridsched.Budget{MaxDuration: *maxtime, MaxEvaluations: *evals, MaxGenerations: *gens},
+		Seed:      *seed,
+		Workers:   *workers,
+		QueueSize: *queue,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithTimeout(ctx, *timeout)
+	defer cancel()
+
+	rep, err := gridsched.Sweep(ctx, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Table())
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.WriteCSV(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+}
+
+// parseClasses resolves the -classes flag: "all", full u_x_yyzz[.k]
+// names, or the report's short x-yyzz labels.
+func parseClasses(s string) ([]etc.Class, error) {
+	if s == "" || s == "all" {
+		return nil, nil // scenarios defaults to the full matrix
+	}
+	var out []etc.Class
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		name := tok
+		if !strings.HasPrefix(name, "u_") {
+			// Short label "c-hihi" → canonical "u_c_hihi".
+			name = "u_" + strings.ReplaceAll(name, "-", "_")
+		}
+		cl, err := etc.ParseClass(name)
+		if err != nil {
+			return nil, fmt.Errorf("bad class %q: %v", tok, err)
+		}
+		out = append(out, cl)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no classes in %q", s)
+	}
+	return out, nil
+}

@@ -48,6 +48,7 @@ import (
 	"gridsched/internal/islands"
 	"gridsched/internal/operators"
 	"gridsched/internal/rng"
+	"gridsched/internal/scenarios"
 	"gridsched/internal/schedule"
 	"gridsched/internal/service"
 	"gridsched/internal/solver"
@@ -392,6 +393,31 @@ var (
 // NewService starts a scheduling service; stop it with Shutdown (or
 // Close for an immediate cancel-and-drain).
 func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// --- Scenario sweep (solver × benchmark-class matrix) ---
+
+// SweepConfig parameterizes a scenario sweep; its zero value sweeps
+// every registered solver over the full 12-class Braun matrix at the
+// paper's 512×16 dimensions.
+type SweepConfig = scenarios.Config
+
+// SweepReport is the per-solver × per-class quality/latency report;
+// render it with Table or WriteCSV.
+type SweepReport = scenarios.Report
+
+// SweepCell is one solver × class outcome inside a SweepReport.
+type SweepCell = scenarios.Cell
+
+// SweepSummary aggregates one solver across every swept class.
+type SweepSummary = scenarios.Summary
+
+// Sweep runs every requested solver on every requested benchmark class
+// through a dedicated scheduling service (worker-pool fan-out, shared
+// instance cache) and reports quality ratios and latencies. The same
+// sweep is available stand-alone as cmd/sweep.
+func Sweep(ctx context.Context, cfg SweepConfig) (*SweepReport, error) {
+	return scenarios.Sweep(ctx, cfg)
+}
 
 // --- Grid simulation (§2.1's dynamic environment) ---
 

@@ -31,6 +31,10 @@ func (s StruggleSolver) WithSeed(seed uint64) solver.Solver {
 	return s
 }
 
+// Reproducible implements solver.Reproducible: a single-threaded
+// steady-state loop.
+func (s StruggleSolver) Reproducible() bool { return true }
+
 // Solve implements solver.Solver. MaxGenerations is not meaningful for
 // a steady-state GA and is ignored; at least one of MaxDuration and
 // MaxEvaluations must be set.
@@ -61,6 +65,10 @@ func (s CMALTHSolver) WithSeed(seed uint64) solver.Solver {
 	return s
 }
 
+// Reproducible implements solver.Reproducible: the synchronous cellular
+// memetic loop runs one thread.
+func (s CMALTHSolver) Reproducible() bool { return true }
+
 // Solve implements solver.Solver. MaxGenerations is ignored (the cMA
 // config exposes wall-clock and evaluation bounds).
 func (s CMALTHSolver) Solve(ctx context.Context, inst *etc.Instance, b solver.Budget) (*solver.Result, error) {
@@ -88,6 +96,9 @@ func (s GenerationalSolver) WithSeed(seed uint64) solver.Solver {
 	s.Config.Seed = seed
 	return s
 }
+
+// Reproducible implements solver.Reproducible: one thread, one stream.
+func (s GenerationalSolver) Reproducible() bool { return true }
 
 // Solve implements solver.Solver.
 func (s GenerationalSolver) Solve(ctx context.Context, inst *etc.Instance, b solver.Budget) (*solver.Result, error) {

@@ -1,0 +1,158 @@
+// Package benchcmp parses `go test -bench` output and compares it
+// against a checked-in JSON baseline, so CI can fail on throughput
+// regressions in the makespan-evaluation hot path instead of silently
+// archiving slower numbers. cmd/benchguard is the CLI.
+package benchcmp
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's recorded cost.
+type Entry struct {
+	// NsPerOp is the benchmark's reported time per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// Baseline is the checked-in reference (BENCH_baseline.json at the
+// repository root): benchmark name → cost, plus provenance notes.
+type Baseline struct {
+	// Note documents how to regenerate the file.
+	Note string `json:"note,omitempty"`
+	// Threshold is the relative regression that fails the guard
+	// (0.25 = fail when ns/op grows more than 25%); guards may
+	// override it.
+	Threshold float64 `json:"threshold"`
+	// Benchmarks maps the name as printed by `go test -bench` (with
+	// the -N GOMAXPROCS suffix stripped) to its recorded cost.
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkIncrementalEval-8   123456789   9.573 ns/op   0 B/op
+//
+// Sub-benchmarks keep their full slash path.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.e+]+) ns/op`)
+
+// Parse extracts benchmark name → ns/op from `go test -bench` output.
+// The trailing "-N" GOMAXPROCS suffix is stripped so baselines survive
+// machines with different core counts. Duplicate names (e.g. -count>1)
+// keep the minimum, the conventional noise-robust pick.
+func Parse(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := stripProcSuffix(m[1])
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchcmp: bad ns/op %q for %s: %v", m[2], name, err)
+		}
+		if prev, ok := out[name]; !ok || ns < prev {
+			out[name] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchcmp: no benchmark lines found")
+	}
+	return out, nil
+}
+
+// stripProcSuffix removes the trailing -N GOMAXPROCS marker from a
+// benchmark name, leaving sub-benchmark paths intact.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Result is the outcome of one benchmark's comparison.
+type Result struct {
+	Name     string
+	Baseline float64 // ns/op recorded in the baseline
+	Current  float64 // ns/op measured now
+	// Delta is the relative change: positive = slower than baseline.
+	Delta float64
+	// Regressed reports Delta beyond the threshold.
+	Regressed bool
+	// Missing reports a baseline benchmark absent from the current
+	// output (a renamed or deleted benchmark must update the baseline).
+	Missing bool
+}
+
+// Compare checks every baseline benchmark against the current
+// measurements. Benchmarks present in current but absent from the
+// baseline are ignored (new benchmarks do not fail the guard; add them
+// with -update). The returned results are sorted by name; ok reports
+// whether the guard passes.
+func Compare(base Baseline, current map[string]float64, threshold float64) (results []Result, ok bool) {
+	if threshold <= 0 {
+		threshold = base.Threshold
+	}
+	if threshold <= 0 {
+		threshold = 0.25
+	}
+	ok = true
+	for name, want := range base.Benchmarks {
+		res := Result{Name: name, Baseline: want.NsPerOp}
+		got, found := current[name]
+		if !found {
+			res.Missing = true
+			ok = false
+			results = append(results, res)
+			continue
+		}
+		res.Current = got
+		if want.NsPerOp > 0 {
+			res.Delta = got/want.NsPerOp - 1
+		}
+		if res.Delta > threshold {
+			res.Regressed = true
+			ok = false
+		}
+		results = append(results, res)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	return results, ok
+}
+
+// ReadBaseline decodes a Baseline.
+func ReadBaseline(r io.Reader) (Baseline, error) {
+	var b Baseline
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return Baseline{}, fmt.Errorf("benchcmp: decoding baseline: %v", err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return Baseline{}, fmt.Errorf("benchcmp: baseline lists no benchmarks")
+	}
+	return b, nil
+}
+
+// WriteBaseline encodes a Baseline with stable formatting.
+func WriteBaseline(w io.Writer, b Baseline) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

@@ -1,0 +1,151 @@
+package benchcmp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: gridsched
+cpu: some cpu
+BenchmarkIncrementalEval-8      	24414818	        48.94 ns/op
+BenchmarkFullRecomputeEval-8    	  145813	      8207 ns/op	       0 B/op	       0 allocs/op
+BenchmarkH2LLCandidates/n=2-8   	  981121	      1221 ns/op
+BenchmarkETCLayoutTransposed-16 	   10000	    105000 ns/op
+PASS
+ok  	gridsched	12.3s
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkIncrementalEval":     48.94,
+		"BenchmarkFullRecomputeEval":   8207,
+		"BenchmarkH2LLCandidates/n=2":  1221,
+		"BenchmarkETCLayoutTransposed": 105000,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func TestParseKeepsMinimumOfDuplicates(t *testing.T) {
+	out := "BenchmarkX-8 10 100 ns/op\nBenchmarkX-8 10 90 ns/op\nBenchmarkX-8 10 120 ns/op\n"
+	got, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkX"] != 90 {
+		t.Fatalf("duplicate handling picked %v, want min 90", got["BenchmarkX"])
+	}
+}
+
+func TestParseEmptyErrors(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("no benchmark lines accepted")
+	}
+}
+
+func TestStripProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkX-8":                  "BenchmarkX",
+		"BenchmarkX-128":                "BenchmarkX",
+		"BenchmarkX":                    "BenchmarkX",
+		"BenchmarkH2LLCandidates/n=2-8": "BenchmarkH2LLCandidates/n=2",
+		"BenchmarkWeird-name":           "BenchmarkWeird-name",
+	}
+	for in, want := range cases {
+		if got := stripProcSuffix(in); got != want {
+			t.Errorf("stripProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func testBaseline() Baseline {
+	return Baseline{
+		Threshold: 0.25,
+		Benchmarks: map[string]Entry{
+			"BenchmarkA": {NsPerOp: 100},
+			"BenchmarkB": {NsPerOp: 1000},
+		},
+	}
+}
+
+func TestCompareWithinThreshold(t *testing.T) {
+	results, ok := Compare(testBaseline(), map[string]float64{
+		"BenchmarkA": 124, // +24%: inside the 25% gate
+		"BenchmarkB": 800, // faster is always fine
+		"BenchmarkC": 5,   // new benchmark: ignored
+	}, 0)
+	if !ok {
+		t.Fatalf("guard failed within threshold: %+v", results)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	results, ok := Compare(testBaseline(), map[string]float64{
+		"BenchmarkA": 126, // +26%: beyond the gate
+		"BenchmarkB": 1000,
+	}, 0)
+	if ok {
+		t.Fatal("guard passed a 26% regression")
+	}
+	for _, r := range results {
+		if r.Name == "BenchmarkA" && !r.Regressed {
+			t.Fatalf("BenchmarkA not flagged: %+v", r)
+		}
+		if r.Name == "BenchmarkB" && r.Regressed {
+			t.Fatalf("BenchmarkB flagged spuriously: %+v", r)
+		}
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	_, ok := Compare(testBaseline(), map[string]float64{"BenchmarkA": 100}, 0)
+	if ok {
+		t.Fatal("guard passed with a baseline benchmark missing from the run")
+	}
+}
+
+func TestCompareExplicitThresholdOverrides(t *testing.T) {
+	_, ok := Compare(testBaseline(), map[string]float64{
+		"BenchmarkA": 140, // +40%
+		"BenchmarkB": 1000,
+	}, 0.5)
+	if !ok {
+		t.Fatal("explicit 50% threshold not honored")
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, testBaseline()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBaseline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Threshold != 0.25 || len(back.Benchmarks) != 2 || back.Benchmarks["BenchmarkA"].NsPerOp != 100 {
+		t.Fatalf("round-trip mangled baseline: %+v", back)
+	}
+}
+
+func TestReadBaselineRejectsEmpty(t *testing.T) {
+	if _, err := ReadBaseline(strings.NewReader(`{"threshold":0.25,"benchmarks":{}}`)); err == nil {
+		t.Fatal("empty baseline accepted")
+	}
+}

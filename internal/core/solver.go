@@ -28,6 +28,11 @@ func (s PACGA) WithSeed(seed uint64) solver.Solver {
 	return s
 }
 
+// Reproducible implements solver.Reproducible: the asynchronous engine
+// is bit-reproducible only single-threaded — at >1 thread the fitness
+// values read across block boundaries depend on worker interleaving.
+func (s PACGA) Reproducible() bool { return s.Params.Threads <= 1 }
+
 // Solve implements solver.Solver.
 func (s PACGA) Solve(ctx context.Context, inst *etc.Instance, b solver.Budget) (*solver.Result, error) {
 	return RunContext(ctx, inst, s.Params.withBudget(b))
@@ -52,6 +57,10 @@ func (s SyncCGA) WithSeed(seed uint64) solver.Solver {
 	s.Params.Seed = seed
 	return s
 }
+
+// Reproducible implements solver.Reproducible: the synchronous variant
+// runs one thread behind a generation barrier.
+func (s SyncCGA) Reproducible() bool { return true }
 
 // Solve implements solver.Solver.
 func (s SyncCGA) Solve(ctx context.Context, inst *etc.Instance, b solver.Budget) (*solver.Result, error) {

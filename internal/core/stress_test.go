@@ -29,6 +29,9 @@ func TestRunManyThreadsBeyondPaper(t *testing.T) {
 	// The paper stops at 4 threads; future work asks for more
 	// parallelism. The engine must stay correct (if not faster) when
 	// heavily oversubscribed.
+	if testing.Short() {
+		t.Skip("oversubscription stress skipped in -short mode")
+	}
 	in := stressInstance(t, 1)
 	for _, threads := range []int{6, 8, 16} {
 		p := DefaultParams()
@@ -52,6 +55,9 @@ func TestRunManyThreadsBeyondPaper(t *testing.T) {
 func TestRunOneThreadPerCell(t *testing.T) {
 	// Extreme partition: every individual its own block (4x4 grid, 16
 	// threads). Every neighborhood read crosses block boundaries.
+	if testing.Short() {
+		t.Skip("one-thread-per-cell stress skipped in -short mode")
+	}
 	in := stressInstance(t, 2)
 	p := DefaultParams()
 	p.GridW, p.GridH = 4, 4
@@ -90,6 +96,9 @@ func TestConcurrentIndependentRuns(t *testing.T) {
 	// Multiple engines sharing one immutable instance must not
 	// interfere: the instance is read-only and all mutable state is
 	// engine-local.
+	if testing.Short() {
+		t.Skip("concurrent independent-run stress skipped in -short mode")
+	}
 	in := stressInstance(t, 4)
 	var wg sync.WaitGroup
 	results := make([]*Result, 6)

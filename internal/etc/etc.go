@@ -175,6 +175,72 @@ func AllClasses() []Class {
 	return out
 }
 
+// maxMatrixEntries is the hard ceiling on tasks×machines accepted from
+// external inputs (parsed files, sized instance names). It bounds the
+// allocation a hostile header like "999999999 999999999" could trigger
+// while leaving room far beyond the 4096×64 future-work benchmarks.
+const maxMatrixEntries = 1 << 24
+
+// checkDims validates externally supplied matrix dimensions: positive
+// and small enough that tasks×machines cannot overflow or exhaust
+// memory.
+func checkDims(tasks, machines int) error {
+	if tasks <= 0 || machines <= 0 {
+		return fmt.Errorf("etc: non-positive dimensions %dx%d", tasks, machines)
+	}
+	if tasks > maxMatrixEntries/machines {
+		return fmt.Errorf("etc: %dx%d matrix exceeds the %d-entry limit", tasks, machines, maxMatrixEntries)
+	}
+	return nil
+}
+
+// SizedName renders the sized instance-name form "u_x_yyzz.k@TxM" used
+// by the instance cache and the scenario sweep to key one class at
+// explicit dimensions. At the benchmark dimensions (or when either dim
+// is zero) it renders the plain class name, so sized and classic names
+// coincide for the paper's 512×16 suite.
+func SizedName(cl Class, tasks, machines int) string {
+	if tasks <= 0 {
+		tasks = DefaultTasks
+	}
+	if machines <= 0 {
+		machines = DefaultMachines
+	}
+	if tasks == DefaultTasks && machines == DefaultMachines {
+		return cl.Name()
+	}
+	return fmt.Sprintf("%s@%dx%d", cl.Name(), tasks, machines)
+}
+
+// ParseSizedName parses "u_x_yyzz.k" or "u_x_yyzz.k@TxM". Zero
+// dimensions are returned for the plain form (callers default them);
+// explicit dimensions are validated against checkDims.
+func ParseSizedName(name string) (cl Class, tasks, machines int, err error) {
+	base := name
+	if i := strings.IndexByte(name, '@'); i >= 0 {
+		base = name[:i]
+		dims := name[i+1:]
+		x := strings.IndexByte(dims, 'x')
+		if x < 0 {
+			return cl, 0, 0, fmt.Errorf("etc: malformed size suffix in %q (want @TxM)", name)
+		}
+		if tasks, err = strconv.Atoi(dims[:x]); err != nil {
+			return cl, 0, 0, fmt.Errorf("etc: bad task count in %q: %v", name, err)
+		}
+		if machines, err = strconv.Atoi(dims[x+1:]); err != nil {
+			return cl, 0, 0, fmt.Errorf("etc: bad machine count in %q: %v", name, err)
+		}
+		if err = checkDims(tasks, machines); err != nil {
+			return cl, 0, 0, err
+		}
+	}
+	cl, err = ParseClass(base)
+	if err != nil {
+		return cl, 0, 0, err
+	}
+	return cl, tasks, machines, nil
+}
+
 // Instance is an immutable scheduling instance under the ETC model.
 //
 // The matrix is stored twice: Row holds ETC[t][m] in task-major order
@@ -244,6 +310,9 @@ func (in *Instance) Validate() error {
 // New builds an instance from a row-major matrix; it derives the
 // transposed layout and zero ready times. The row slice is copied.
 func New(name string, tasks, machines int, row []float64) (*Instance, error) {
+	if err := checkDims(tasks, machines); err != nil {
+		return nil, err
+	}
 	if len(row) != tasks*machines {
 		return nil, fmt.Errorf("etc: matrix has %d entries, want %d", len(row), tasks*machines)
 	}
@@ -366,6 +435,9 @@ func Generate(spec GenSpec) (*Instance, error) {
 	if spec.Machines <= 0 {
 		spec.Machines = DefaultMachines
 	}
+	if err := checkDims(spec.Tasks, spec.Machines); err != nil {
+		return nil, err
+	}
 	phiB := float64(TaskHeterogeneityLow)
 	if spec.Class.TaskHet == High {
 		phiB = TaskHeterogeneityHigh
@@ -421,12 +493,23 @@ func Generate(spec GenSpec) (*Instance, error) {
 // class (including the index k) determines the seed, so every call with
 // the same name yields the same instance — our stand-in for the fixed
 // benchmark files.
+//
+// A "@TxM" suffix ("u_c_hihi.0@128x8") materializes the class at
+// explicit dimensions instead of the benchmark's 512×16; the seed still
+// derives from the class alone, so one class scales across sizes as the
+// same statistical family. The instance keeps the sized name, so caches
+// keyed on Name distinguish sizes.
 func GenerateByName(name string) (*Instance, error) {
-	cl, err := ParseClass(name)
+	cl, tasks, machines, err := ParseSizedName(name)
 	if err != nil {
 		return nil, err
 	}
-	return Generate(GenSpec{Class: cl, Seed: classSeed(cl)})
+	in, err := Generate(GenSpec{Class: cl, Tasks: tasks, Machines: machines, Seed: classSeed(cl)})
+	if err != nil {
+		return nil, err
+	}
+	in.Name = name
+	return in, nil
 }
 
 // Benchmark returns the full 12-instance suite the paper evaluates
@@ -494,7 +577,17 @@ func ReadSized(name string, tasks, machines int, r io.Reader) (*Instance, error)
 }
 
 func readBody(name string, tn, mn int, sc *bufio.Scanner) (*Instance, error) {
-	row := make([]float64, 0, tn*mn)
+	if err := checkDims(tn, mn); err != nil {
+		return nil, err
+	}
+	// Preallocate conservatively: the header's claim is untrusted until
+	// the values actually arrive, so a hostile "16777216 1" header must
+	// not reserve 128 MB up front.
+	capHint := tn * mn
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	row := make([]float64, 0, capHint)
 	for sc.Scan() {
 		for _, f := range strings.Fields(sc.Text()) {
 			v, err := strconv.ParseFloat(f, 64)
@@ -502,6 +595,12 @@ func readBody(name string, tn, mn int, sc *bufio.Scanner) (*Instance, error) {
 				return nil, fmt.Errorf("etc: bad value %q: %v", f, err)
 			}
 			row = append(row, v)
+			// Fail fast once the body exceeds the header's claim: a
+			// hostile stream must not grow the buffer past the declared
+			// matrix.
+			if len(row) > tn*mn {
+				return nil, fmt.Errorf("etc: more than the declared %d values", tn*mn)
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {

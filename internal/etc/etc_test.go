@@ -404,3 +404,61 @@ func BenchmarkGenerate512x16(b *testing.B) {
 		}
 	}
 }
+
+func TestSizedNameDefaults(t *testing.T) {
+	cl := Class{Consistency: Consistent, TaskHet: High, MachineHet: Low}
+	cases := []struct {
+		tasks, machines int
+		want            string
+	}{
+		{0, 0, "u_c_hilo.0"},
+		{DefaultTasks, DefaultMachines, "u_c_hilo.0"},
+		{0, 8, "u_c_hilo.0@512x8"}, // one zero dim folds to its default
+		{128, 0, "u_c_hilo.0@128x16"},
+		{128, 8, "u_c_hilo.0@128x8"},
+	}
+	for _, c := range cases {
+		name := SizedName(cl, c.tasks, c.machines)
+		if name != c.want {
+			t.Errorf("SizedName(%d, %d) = %q, want %q", c.tasks, c.machines, name, c.want)
+		}
+		// Every rendered name must be generable.
+		in, err := GenerateByName(name)
+		if err != nil {
+			t.Errorf("GenerateByName(%q): %v", name, err)
+			continue
+		}
+		if in.Name != name {
+			t.Errorf("GenerateByName(%q) produced Name %q", name, in.Name)
+		}
+	}
+}
+
+func TestGenerateByNameSized(t *testing.T) {
+	in, err := GenerateByName("u_i_hihi.0@64x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.T != 64 || in.M != 4 {
+		t.Fatalf("sized generation produced %dx%d, want 64x4", in.T, in.M)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Same class+size regenerates identically (the cache contract).
+	again, err := GenerateByName("u_i_hihi.0@64x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in.Row {
+		if in.Row[i] != again.Row[i] {
+			t.Fatalf("sized generation not deterministic at entry %d", i)
+		}
+	}
+	// Hostile sizes are rejected, not allocated.
+	for _, name := range []string{"u_c_hihi.0@-1x8", "u_c_hihi.0@999999999x999999999", "u_c_hihi.0@0x0"} {
+		if _, err := GenerateByName(name); err == nil {
+			t.Errorf("GenerateByName(%q) accepted hostile size", name)
+		}
+	}
+}

@@ -23,6 +23,10 @@ func (c Constructive) Name() string { return c.name }
 // Describe implements solver.Solver.
 func (c Constructive) Describe() string { return c.desc }
 
+// Reproducible implements solver.Reproducible: a constructive heuristic
+// is a pure function of the instance.
+func (c Constructive) Reproducible() bool { return true }
+
 // Solve implements solver.Solver.
 func (c Constructive) Solve(ctx context.Context, inst *etc.Instance, _ solver.Budget) (*solver.Result, error) {
 	if err := ctx.Err(); err != nil {

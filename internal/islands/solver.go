@@ -28,6 +28,11 @@ func (s Solver) WithSeed(seed uint64) solver.Solver {
 	return s
 }
 
+// Reproducible implements solver.Reproducible: islands evolve
+// concurrently and migrants arrive whenever the ring delivers them, so
+// equal seeds do not reproduce bit-identical runs.
+func (s Solver) Reproducible() bool { return false }
+
 // Solve implements solver.Solver.
 func (s Solver) Solve(ctx context.Context, inst *etc.Instance, b solver.Budget) (*solver.Result, error) {
 	cfg := s.Config

@@ -1,0 +1,135 @@
+package scenarios
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"gridsched/internal/etc"
+	"gridsched/internal/service"
+)
+
+// classLabel renders the compact column header for one class, e.g.
+// "c-hihi" (index 0 is implied, other indices are spelled out).
+func classLabel(cl etc.Class) string {
+	label := fmt.Sprintf("%s-%s%s", cl.Consistency, cl.TaskHet, cl.MachineHet)
+	if cl.Index != 0 {
+		label += fmt.Sprintf(".%d", cl.Index)
+	}
+	return label
+}
+
+// cell returns the cell for one solver × class pair, or nil.
+func (r *Report) cell(solverName string, cl etc.Class) *Cell {
+	for i := range r.Cells {
+		if r.Cells[i].Solver == solverName && r.Cells[i].Class == cl {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// Table renders the sweep as a text table: one row per solver (best
+// mean quality first), one quality-ratio column per class, and the
+// per-solver aggregates. Failed cells render as "x"; the footer lists
+// their errors.
+func (r *Report) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "scenario sweep: %d classes × %d solvers at %d×%d, budget %s",
+		len(r.Classes), len(r.Solvers), r.Tasks, r.Machines, r.Budget)
+	if r.Seed != 0 {
+		fmt.Fprintf(&sb, ", seed %d", r.Seed)
+	}
+	fmt.Fprintf(&sb, "\nwall %v, instance cache %d hit / %d miss\n", r.Elapsed.Round(time.Millisecond), r.CacheHits, r.CacheMisses)
+	sb.WriteString("quality = makespan / class best (1.000 marks the class winner)\n\n")
+
+	tw := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprint(tw, "solver")
+	for _, cl := range r.Classes {
+		fmt.Fprintf(tw, "\t%s", classLabel(cl))
+	}
+	fmt.Fprint(tw, "\tmean\twins\tbusy\t\n")
+
+	var failures []string
+	for _, s := range r.Summaries {
+		fmt.Fprint(tw, s.Solver)
+		for _, cl := range r.Classes {
+			c := r.cell(s.Solver, cl)
+			switch {
+			case c == nil:
+				fmt.Fprint(tw, "\t-")
+			case c.State != service.StateDone:
+				fmt.Fprint(tw, "\tx")
+				msg := c.Err
+				if msg == "" {
+					msg = string(c.State)
+				}
+				failures = append(failures, fmt.Sprintf("%s on %s: %s", c.Solver, c.Instance, msg))
+			default:
+				fmt.Fprintf(tw, "\t%.3f", c.Ratio)
+			}
+		}
+		if s.Done > 0 {
+			fmt.Fprintf(tw, "\t%.3f", s.MeanRatio)
+		} else {
+			fmt.Fprint(tw, "\t-")
+		}
+		fmt.Fprintf(tw, "\t%d\t%v\t\n", s.Wins, s.BusyTime.Round(time.Millisecond))
+	}
+	tw.Flush()
+
+	if len(failures) > 0 {
+		sb.WriteString("\nincomplete cells:\n")
+		for _, f := range failures {
+			fmt.Fprintf(&sb, "  %s\n", f)
+		}
+	}
+	return sb.String()
+}
+
+// String implements fmt.Stringer.
+func (r *Report) String() string { return r.Table() }
+
+// WriteCSV writes the sweep in long format, one record per cell, for
+// external post-processing.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"solver", "instance", "class", "consistency", "task_het", "machine_het",
+		"tasks", "machines", "state", "makespan", "ratio", "evaluations",
+		"wait_ms", "latency_ms", "error",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		rec := []string{
+			c.Solver,
+			c.Instance,
+			c.Class.Name(),
+			c.Class.Consistency.String(),
+			c.Class.TaskHet.String(),
+			c.Class.MachineHet.String(),
+			strconv.Itoa(r.Tasks),
+			strconv.Itoa(r.Machines),
+			string(c.State),
+			formatF(c.Makespan),
+			formatF(c.Ratio),
+			strconv.FormatInt(c.Evaluations, 10),
+			formatF(float64(c.Wait) / float64(time.Millisecond)),
+			formatF(float64(c.Latency) / float64(time.Millisecond)),
+			c.Err,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,324 @@
+// Package scenarios sweeps the solver registry across the Braun et al.
+// benchmark matrix: every requested solver × every requested instance
+// class (the paper's 12 consistency×heterogeneity families), at
+// configurable dimensions, executed through the scheduling service —
+// jobs fan out over the service's bounded queue and worker pool, the
+// twelve ETC matrices are materialized once each through the service's
+// LRU instance cache, and backpressure from the queue throttles the
+// producer exactly as it would throttle an external client.
+//
+// The result is a per-solver × per-class quality/latency report
+// (Report) renderable as a text table or CSV: makespan per cell, the
+// ratio to the best makespan any solver achieved on that class (1.000
+// marks the class winner), evaluation counts and solve latency, plus
+// per-solver aggregates. cmd/sweep is the CLI; gridsched.Sweep is the
+// library entry point.
+package scenarios
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"gridsched/internal/etc"
+	"gridsched/internal/service"
+	"gridsched/internal/solver"
+)
+
+// Config parameterizes a sweep. The zero value sweeps every registered
+// solver over the full 12-class benchmark at the paper's 512×16
+// dimensions under a 5 000-evaluation budget.
+type Config struct {
+	// Classes are the instance families to materialize; empty means
+	// etc.AllClasses(), the paper's full 12-class matrix.
+	Classes []etc.Class
+	// Tasks and Machines size every materialized instance; zero means
+	// the benchmark dimensions (512 tasks, 16 machines).
+	Tasks, Machines int
+	// Solvers are registry names to run; empty means solver.Names().
+	Solvers []string
+	// Budget bounds each job; a zero budget defaults to
+	// DefaultEvalBudget evaluations so zero-config sweeps terminate.
+	Budget solver.Budget
+	// Seed reseeds every job (see solver.WithSeed); zero keeps each
+	// solver's registered default seed.
+	Seed uint64
+	// Workers sizes the service worker pool; zero means GOMAXPROCS.
+	Workers int
+	// QueueSize bounds the service job queue; zero means the service
+	// default. Smaller queues exercise producer backpressure harder.
+	QueueSize int
+}
+
+// DefaultEvalBudget is the per-job evaluation budget a zero Config
+// budget falls back to.
+const DefaultEvalBudget = 5000
+
+// Cell is one solver × class outcome.
+type Cell struct {
+	Solver   string
+	Instance string // sized instance name, e.g. "u_c_hihi.0@128x8"
+	Class    etc.Class
+	State    service.JobState
+	Err      string
+
+	Makespan float64
+	// Ratio is Makespan divided by the best makespan any solver in the
+	// sweep achieved on this class: 1.0 marks the class winner. Zero
+	// when the job did not complete.
+	Ratio       float64
+	Evaluations int64
+	// Wait is time spent queued behind other jobs; Latency is solve
+	// wall time.
+	Wait    time.Duration
+	Latency time.Duration
+}
+
+// Summary aggregates one solver across every class of the sweep.
+type Summary struct {
+	Solver string
+	// Done counts completed cells; Failed counts failed or cancelled
+	// ones.
+	Done, Failed int
+	// MeanRatio is the mean quality ratio over completed cells (1.0 =
+	// won every class); Wins counts classes where the solver matched
+	// the class-best makespan.
+	MeanRatio float64
+	Wins      int
+	// BusyTime sums solve latency across the solver's cells.
+	BusyTime time.Duration
+}
+
+// Report is the outcome of one sweep.
+type Report struct {
+	Tasks, Machines int
+	Budget          solver.Budget
+	Seed            uint64
+	Classes         []etc.Class
+	Solvers         []string
+	// Cells holds one entry per solver × class, solver-major in the
+	// order of Solvers and Classes.
+	Cells []Cell
+	// Summaries is sorted best mean ratio first.
+	Summaries []Summary
+	Elapsed   time.Duration
+	// CacheHits/CacheMisses are the service instance-cache counters:
+	// a healthy sweep shows one miss per class and hits for the rest.
+	CacheHits, CacheMisses int64
+}
+
+// submitRetryDelay paces producer retries while the service queue is
+// exerting backpressure.
+const submitRetryDelay = 2 * time.Millisecond
+
+// Sweep materializes every class at the configured dimensions and runs
+// every solver on each through a dedicated scheduling service, honoring
+// ctx for the whole batch (cancel aborts outstanding jobs and returns
+// the context's error).
+func Sweep(ctx context.Context, cfg Config) (*Report, error) {
+	classes := cfg.Classes
+	if len(classes) == 0 {
+		classes = etc.AllClasses()
+	}
+	names := cfg.Solvers
+	if len(names) == 0 {
+		names = solver.Names()
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("scenarios: no solvers registered")
+	}
+	for _, name := range names {
+		if _, err := solver.Lookup(name); err != nil {
+			return nil, err
+		}
+	}
+	budget := cfg.Budget
+	if budget.IsZero() {
+		budget = solver.Budget{MaxEvaluations: DefaultEvalBudget}
+	}
+
+	report := &Report{
+		Tasks:    orDefault(cfg.Tasks, etc.DefaultTasks),
+		Machines: orDefault(cfg.Machines, etc.DefaultMachines),
+		Budget:   budget,
+		Seed:     cfg.Seed,
+		Classes:  classes,
+		Solvers:  names,
+	}
+
+	svc := service.New(service.Config{
+		Workers:   cfg.Workers,
+		QueueSize: cfg.QueueSize,
+		// One cache slot per class plus headroom, so the sweep never
+		// thrashes its own working set.
+		CacheSize: len(classes) + 2,
+		// The collector Waits in submission order, so an early-finished
+		// job must outlive the whole batch: retention far beyond any
+		// plausible sweep, not the service's client-facing 15 minutes.
+		ResultTTL: 24 * time.Hour,
+		// The sweep is a trusted local batch, not an exposed endpoint;
+		// let callers sweep dimensions past the service's DoS cap.
+		MaxMatrixEntries: -1,
+	})
+	defer svc.Close()
+
+	start := time.Now()
+
+	// Producer: submit solver-major so early cells of every class land
+	// quickly and the cache misses once per class up front. The bounded
+	// queue pushes back with ErrQueueFull; the producer retries, which
+	// is exactly the discipline an external batch client needs.
+	type pending struct {
+		id     string
+		solver string
+		class  etc.Class
+		name   string
+	}
+	jobs := make([]pending, 0, len(names)*len(classes))
+	for _, name := range names {
+		for _, cl := range classes {
+			instName := etc.SizedName(cl, cfg.Tasks, cfg.Machines)
+			spec := service.JobSpec{
+				Solver:   name,
+				Instance: instName,
+				Budget:   budget,
+				Seed:     cfg.Seed,
+			}
+			id, err := submitWithBackpressure(ctx, svc, spec)
+			if err != nil {
+				return nil, fmt.Errorf("scenarios: submitting %s on %s: %w", name, instName, err)
+			}
+			jobs = append(jobs, pending{id: id, solver: name, class: cl, name: instName})
+		}
+	}
+
+	// Collector: Wait on each job in submission order. Order does not
+	// matter for wall time — the pool is already chewing through the
+	// whole batch — only for deterministic report layout.
+	report.Cells = make([]Cell, 0, len(jobs))
+	for _, p := range jobs {
+		j, err := svc.Wait(ctx, p.id)
+		if err != nil {
+			return nil, fmt.Errorf("scenarios: waiting for %s on %s: %w", p.solver, p.name, err)
+		}
+		cell := Cell{
+			Solver:   p.solver,
+			Instance: p.name,
+			Class:    p.class,
+			State:    j.State,
+			Err:      j.Error,
+			Wait:     j.Wait(),
+		}
+		if !j.StartedAt.IsZero() && !j.FinishedAt.IsZero() {
+			cell.Latency = j.FinishedAt.Sub(j.StartedAt)
+		}
+		if j.Result != nil {
+			cell.Makespan = j.Result.Makespan
+			cell.Evaluations = j.Result.Evaluations
+		}
+		report.Cells = append(report.Cells, cell)
+	}
+	report.Elapsed = time.Since(start)
+
+	stats := svc.Stats()
+	report.CacheHits, report.CacheMisses = stats.CacheHits, stats.CacheMisses
+
+	report.finalize()
+	return report, nil
+}
+
+// submitWithBackpressure submits the spec, retrying while the bounded
+// queue is full, until ctx cancels.
+func submitWithBackpressure(ctx context.Context, svc *service.Server, spec service.JobSpec) (string, error) {
+	for {
+		j, err := svc.Submit(spec)
+		if err == nil {
+			return j.ID, nil
+		}
+		if err != service.ErrQueueFull {
+			return "", err
+		}
+		select {
+		case <-ctx.Done():
+			return "", ctx.Err()
+		case <-time.After(submitRetryDelay):
+		}
+	}
+}
+
+// finalize computes quality ratios against the per-class best and the
+// per-solver summaries.
+func (r *Report) finalize() {
+	bestByClass := make(map[string]float64, len(r.Classes))
+	for _, c := range r.Cells {
+		if c.State != service.StateDone {
+			continue
+		}
+		key := c.Class.Name()
+		if best, ok := bestByClass[key]; !ok || c.Makespan < best {
+			bestByClass[key] = c.Makespan
+		}
+	}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.State != service.StateDone {
+			continue
+		}
+		if best := bestByClass[c.Class.Name()]; best > 0 {
+			c.Ratio = c.Makespan / best
+		}
+	}
+
+	perSolver := make(map[string]*Summary, len(r.Solvers))
+	for _, name := range r.Solvers {
+		perSolver[name] = &Summary{Solver: name}
+	}
+	for _, c := range r.Cells {
+		s := perSolver[c.Solver]
+		if s == nil {
+			continue
+		}
+		s.BusyTime += c.Latency
+		if c.State != service.StateDone {
+			s.Failed++
+			continue
+		}
+		s.Done++
+		s.MeanRatio += c.Ratio
+		if ratioIsWin(c.Ratio) {
+			s.Wins++
+		}
+	}
+	r.Summaries = r.Summaries[:0]
+	for _, name := range r.Solvers {
+		s := perSolver[name]
+		if s.Done > 0 {
+			s.MeanRatio /= float64(s.Done)
+		}
+		r.Summaries = append(r.Summaries, *s)
+	}
+	sort.SliceStable(r.Summaries, func(i, j int) bool {
+		a, b := r.Summaries[i], r.Summaries[j]
+		switch {
+		case (a.Done > 0) != (b.Done > 0):
+			return a.Done > 0 // solvers with results ahead of all-failed ones
+		case a.MeanRatio != b.MeanRatio:
+			return a.MeanRatio < b.MeanRatio
+		default:
+			return a.Solver < b.Solver
+		}
+	})
+}
+
+// ratioIsWin treats a cell as a class win when its makespan matches the
+// class best to within floating-point noise.
+func ratioIsWin(ratio float64) bool { return math.Abs(ratio-1) <= 1e-9 }
+
+func orDefault(v, def int) int {
+	if v <= 0 {
+		return def
+	}
+	return v
+}

@@ -1,0 +1,238 @@
+package scenarios
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"gridsched/internal/etc"
+	"gridsched/internal/service"
+	"gridsched/internal/solver"
+
+	_ "gridsched/internal/baselines"
+	_ "gridsched/internal/core"
+	_ "gridsched/internal/heuristics"
+	_ "gridsched/internal/islands"
+	_ "gridsched/internal/tabu"
+)
+
+// smallClasses picks one family per consistency class so the quick
+// tests cover the matrix axes without the full 12-way product.
+func smallClasses() []etc.Class {
+	return []etc.Class{
+		{Consistency: etc.Consistent, TaskHet: etc.High, MachineHet: etc.High},
+		{Consistency: etc.SemiConsistent, TaskHet: etc.High, MachineHet: etc.Low},
+		{Consistency: etc.Inconsistent, TaskHet: etc.Low, MachineHet: etc.High},
+	}
+}
+
+func TestSweepSmall(t *testing.T) {
+	cfg := Config{
+		Classes:  smallClasses(),
+		Tasks:    48,
+		Machines: 6,
+		Solvers:  []string{"minmin", "maxmin", "tabu", "pa-cga"},
+		Budget:   solver.Budget{MaxEvaluations: 600},
+		Seed:     11,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := Sweep(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := len(cfg.Classes) * len(cfg.Solvers)
+	if len(rep.Cells) != wantCells {
+		t.Fatalf("got %d cells, want %d", len(rep.Cells), wantCells)
+	}
+	for _, c := range rep.Cells {
+		if c.State != service.StateDone {
+			t.Fatalf("%s on %s: state %q (%s)", c.Solver, c.Instance, c.State, c.Err)
+		}
+		if c.Makespan <= 0 || c.Ratio < 1 {
+			t.Fatalf("%s on %s: makespan %v ratio %v", c.Solver, c.Instance, c.Makespan, c.Ratio)
+		}
+		if c.Evaluations <= 0 {
+			t.Fatalf("%s on %s: evaluations %d", c.Solver, c.Instance, c.Evaluations)
+		}
+		if !strings.Contains(c.Instance, "@48x6") {
+			t.Fatalf("cell instance %q not sized", c.Instance)
+		}
+	}
+	// Every class has a winner at ratio exactly 1.
+	for _, cl := range cfg.Classes {
+		won := false
+		for _, c := range rep.Cells {
+			if c.Class == cl && ratioIsWin(c.Ratio) {
+				won = true
+				break
+			}
+		}
+		if !won {
+			t.Fatalf("class %s has no ratio-1.0 winner", cl.Name())
+		}
+	}
+	// The instance cache generated each sized matrix exactly once.
+	if rep.CacheMisses != int64(len(cfg.Classes)) {
+		t.Fatalf("cache misses = %d, want %d (one per class)", rep.CacheMisses, len(cfg.Classes))
+	}
+	if rep.CacheHits+rep.CacheMisses != int64(wantCells) {
+		t.Fatalf("cache hits+misses = %d, want %d", rep.CacheHits+rep.CacheMisses, wantCells)
+	}
+	// Summaries are complete and ordered best-first.
+	if len(rep.Summaries) != len(cfg.Solvers) {
+		t.Fatalf("got %d summaries, want %d", len(rep.Summaries), len(cfg.Solvers))
+	}
+	for i := 1; i < len(rep.Summaries); i++ {
+		if rep.Summaries[i-1].MeanRatio > rep.Summaries[i].MeanRatio {
+			t.Fatalf("summaries out of order: %v", rep.Summaries)
+		}
+	}
+}
+
+func TestSweepBackpressure(t *testing.T) {
+	// A one-slot queue forces the producer through the retry path for
+	// nearly every submission; the sweep must still complete fully.
+	cfg := Config{
+		Classes:   smallClasses()[:2],
+		Tasks:     32,
+		Machines:  4,
+		Solvers:   []string{"minmin", "mct", "olb"},
+		Budget:    solver.Budget{MaxEvaluations: 50},
+		QueueSize: 1,
+		Workers:   2,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := Sweep(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Cells {
+		if c.State != service.StateDone {
+			t.Fatalf("%s on %s: state %q (%s)", c.Solver, c.Instance, c.State, c.Err)
+		}
+	}
+}
+
+func TestSweepUnknownSolver(t *testing.T) {
+	_, err := Sweep(context.Background(), Config{Solvers: []string{"nope"}})
+	if err == nil || !strings.Contains(err.Error(), "unknown solver") {
+		t.Fatalf("unknown solver accepted: %v", err)
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	// A budget long enough that cancellation, not completion, ends it.
+	_, err := Sweep(ctx, Config{
+		Classes:  smallClasses(),
+		Tasks:    64,
+		Machines: 8,
+		Budget:   solver.Budget{MaxDuration: time.Hour, MaxEvaluations: 1 << 40},
+	})
+	if err == nil {
+		t.Fatal("cancelled sweep returned no error")
+	}
+	// The service behind the sweep fully unwound.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after cancelled sweep: %d > %d", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSweepFullMatrix runs the complete 12-class × every-registered-
+// solver sweep end to end (at reduced dimensions and budget so it stays
+// minutes-not-hours even under -race). Gated behind -short.
+func TestSweepFullMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 12-class sweep skipped in -short mode")
+	}
+	cfg := Config{
+		Tasks:    64,
+		Machines: 8,
+		Budget:   solver.Budget{MaxEvaluations: 800},
+		Seed:     3,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	rep, err := Sweep(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Classes) != 12 {
+		t.Fatalf("swept %d classes, want 12", len(rep.Classes))
+	}
+	if len(rep.Solvers) != len(solver.Names()) {
+		t.Fatalf("swept %d solvers, want %d", len(rep.Solvers), len(solver.Names()))
+	}
+	for _, c := range rep.Cells {
+		if c.State != service.StateDone {
+			t.Fatalf("%s on %s: state %q (%s)", c.Solver, c.Instance, c.State, c.Err)
+		}
+	}
+
+	table := rep.Table()
+	for _, cl := range rep.Classes {
+		if !strings.Contains(table, classLabel(cl)) {
+			t.Fatalf("table missing class column %s:\n%s", classLabel(cl), table)
+		}
+	}
+	for _, name := range rep.Solvers {
+		if !strings.Contains(table, name) {
+			t.Fatalf("table missing solver row %s:\n%s", name, table)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1+len(rep.Cells) {
+		t.Fatalf("CSV has %d records, want %d", len(recs), 1+len(rep.Cells))
+	}
+}
+
+// TestReportRendersFailures pins the failure rendering path without
+// needing a failing solver: a hand-built report with one failed cell.
+func TestReportRendersFailures(t *testing.T) {
+	cl := smallClasses()[0]
+	rep := &Report{
+		Tasks: 32, Machines: 4,
+		Budget:  solver.Budget{MaxEvaluations: 10},
+		Classes: []etc.Class{cl},
+		Solvers: []string{"good", "bad"},
+		Cells: []Cell{
+			{Solver: "good", Instance: cl.Name(), Class: cl, State: service.StateDone, Makespan: 10},
+			{Solver: "bad", Instance: cl.Name(), Class: cl, State: service.StateFailed, Err: "boom"},
+		},
+	}
+	rep.finalize()
+	table := rep.Table()
+	if !strings.Contains(table, "boom") {
+		t.Fatalf("failure reason not rendered:\n%s", table)
+	}
+	if !strings.Contains(table, "1.000") {
+		t.Fatalf("winner ratio not rendered:\n%s", table)
+	}
+	// The failed solver sorts after the one with results.
+	if rep.Summaries[0].Solver != "good" || rep.Summaries[1].Failed != 1 {
+		t.Fatalf("summaries misordered: %+v", rep.Summaries)
+	}
+}

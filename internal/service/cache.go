@@ -97,21 +97,52 @@ func (c *instanceCache) counters() (hits, misses int64, entries int) {
 
 // resolveInstance materializes the spec's instance: an inline matrix
 // is built directly (no caching — it is client data), a named
-// benchmark class goes through the LRU cache.
+// benchmark class goes through the LRU cache. Both paths enforce the
+// server's matrix-size cap before any large allocation happens.
 func (s *Server) resolveInstance(spec JobSpec) (*etc.Instance, error) {
 	switch {
 	case spec.Matrix != nil && spec.Instance != "":
 		return nil, fmt.Errorf("service: spec sets both instance %q and an inline matrix", spec.Instance)
 	case spec.Matrix != nil:
 		m := spec.Matrix
+		if err := s.checkMatrixSize(m.Tasks, m.Machines); err != nil {
+			return nil, err
+		}
 		name := m.Name
 		if name == "" {
 			name = "inline"
 		}
 		return etc.New(name, m.Tasks, m.Machines, m.ETC)
 	case spec.Instance != "":
+		if _, tasks, machines, err := etc.ParseSizedName(spec.Instance); err == nil {
+			if tasks == 0 {
+				tasks = etc.DefaultTasks
+			}
+			if machines == 0 {
+				machines = etc.DefaultMachines
+			}
+			if err := s.checkMatrixSize(tasks, machines); err != nil {
+				return nil, err
+			}
+		}
+		// An unparsable name falls through: the generator reports the
+		// same parse error with full context.
 		return s.cache.get(spec.Instance)
 	default:
 		return nil, fmt.Errorf("service: spec needs an instance name or an inline matrix")
 	}
+}
+
+// checkMatrixSize enforces Config.MaxMatrixEntries. Non-positive
+// dimensions pass through: the instance constructors reject them with
+// better messages.
+func (s *Server) checkMatrixSize(tasks, machines int) error {
+	limit := s.cfg.MaxMatrixEntries
+	if limit <= 0 || tasks <= 0 || machines <= 0 {
+		return nil
+	}
+	if tasks > limit/machines {
+		return fmt.Errorf("service: %dx%d matrix exceeds the server's %d-entry limit", tasks, machines, limit)
+	}
+	return nil
 }

@@ -163,11 +163,37 @@ func jobToJSON(j Job, includeAssignment bool) jobJSON {
 	return out
 }
 
+// maxSubmitBody bounds a submit request's body under the default
+// matrix-entry cap. The largest legitimate payload is an inline matrix
+// at the cap (~25 JSON bytes per value ≈ 26 MB at the default 1<<20
+// entries); 64 MB leaves slack without letting a client buffer
+// gigabytes into the decoder.
+const maxSubmitBody = 64 << 20
+
+// submitBodyLimit scales the body bound with the configured matrix
+// cap so a raised (or disabled) MaxMatrixEntries is not silently
+// contradicted by the HTTP layer.
+func (s *Server) submitBodyLimit() int64 {
+	entries := s.cfg.MaxMatrixEntries
+	if entries < 0 {
+		return 1 << 40 // cap disabled by a trusted embedder: don't re-cap here
+	}
+	if need := int64(entries)*32 + (1 << 20); need > maxSubmitBody {
+		return need
+	}
+	return maxSubmitBody
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req jobRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.submitBodyLimit()))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}

@@ -110,6 +110,10 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// done is closed exactly once, when the job reaches a terminal
+	// state; Server.Wait blocks on it.
+	done chan struct{}
+
 	mu        sync.Mutex
 	st        JobState
 	cancelReq bool
@@ -130,8 +134,20 @@ func newJob(id string, spec JobSpec, sv solver.Solver, inst *etc.Instance, b sol
 		budget:    b,
 		ctx:       ctx,
 		cancel:    cancel,
+		done:      make(chan struct{}),
 		st:        StateQueued,
 		submitted: time.Now(),
+	}
+}
+
+// closeDoneLocked signals waiters once the job is terminal. Callers
+// hold j.mu; the select makes the close idempotent across the two
+// terminal transitions (finish, and requestCancel on a queued job).
+func (j *job) closeDoneLocked() {
+	select {
+	case <-j.done:
+	default:
+		close(j.done)
 	}
 }
 
@@ -165,6 +181,7 @@ func (j *job) finish(res *solver.Result, err error) {
 	default:
 		j.st = StateDone
 	}
+	j.closeDoneLocked()
 	j.mu.Unlock()
 	j.cancel() // release the context's resources
 }
@@ -182,6 +199,7 @@ func (j *job) requestCancel() {
 	if j.st == StateQueued {
 		j.st = StateCancelled
 		j.finished = time.Now()
+		j.closeDoneLocked()
 	}
 	j.mu.Unlock()
 	j.cancel()

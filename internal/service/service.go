@@ -70,6 +70,14 @@ type Config struct {
 	// more (or for no time bound at all) are clamped to it. Zero means
 	// no cap.
 	MaxDuration time.Duration
+	// MaxMatrixEntries caps tasks×machines for any instance a job may
+	// reference — a sized benchmark name ("u_c_hihi.0@4096x64") or an
+	// inline matrix. Specs beyond it are rejected at Submit, bounding
+	// worst-case instance-cache memory to roughly CacheSize ×
+	// MaxMatrixEntries × 16 bytes. Zero means the default (1<<20
+	// entries ≈ 16 MB per instance); negative disables the cap (for
+	// trusted embedders like the scenario sweep).
+	MaxMatrixEntries int
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +98,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize <= 0 {
 		c.CacheSize = 16
+	}
+	if c.MaxMatrixEntries == 0 {
+		c.MaxMatrixEntries = 1 << 20
 	}
 	return c
 }
@@ -193,6 +204,29 @@ func (s *Server) Job(id string) (Job, error) {
 		return Job{}, ErrNotFound
 	}
 	return j.snapshot(), nil
+}
+
+// Wait blocks until the identified job reaches a terminal state (done,
+// failed or cancelled) and returns its final snapshot, or returns the
+// context's error if ctx fires first. It is the synchronous companion
+// to the polling Job accessor: batch harnesses (the scenario sweep)
+// submit a wave of jobs and Wait on each instead of spinning.
+//
+// Wait does not extend retention: a job evicted by the janitor before
+// Wait is called reports ErrNotFound.
+func (s *Server) Wait(ctx context.Context, id string) (Job, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	select {
+	case <-j.done:
+		return j.snapshot(), nil
+	case <-ctx.Done():
+		return Job{}, ctx.Err()
+	}
 }
 
 // Jobs snapshots every retained job, newest first.

@@ -515,3 +515,124 @@ func waitNoLeakedGoroutines(t *testing.T, before int) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestWait covers the synchronous companion to Job: a finished job is
+// returned with its terminal snapshot, a cancelled-while-queued job
+// unblocks waiters, an expired context surrenders, and unknown IDs are
+// rejected.
+func TestWait(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueSize: 8})
+	defer svc.Close()
+
+	j, err := svc.Submit(JobSpec{Solver: "minmin", Instance: "u_c_hihi.0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	got, err := svc.Wait(ctx, j.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if got.State != StateDone || got.Result == nil {
+		t.Fatalf("Wait returned state %q, result %v", got.State, got.Result)
+	}
+	// Waiting on an already-terminal job returns immediately.
+	if again, err := svc.Wait(ctx, j.ID); err != nil || again.State != StateDone {
+		t.Fatalf("re-Wait: %v, %v", again.State, err)
+	}
+
+	if _, err := svc.Wait(ctx, "j99999999"); err != ErrNotFound {
+		t.Fatalf("Wait on unknown id: %v, want ErrNotFound", err)
+	}
+
+	// Occupy the single worker, queue a victim behind it, and cancel the
+	// victim while queued: Wait must unblock with the cancelled snapshot.
+	blocker, err := svc.Submit(JobSpec{Solver: "test-block", Instance: "u_c_hihi.0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := svc.Submit(JobSpec{Solver: "minmin", Instance: "u_c_hihi.0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	var waited Job
+	go func() {
+		var werr error
+		waited, werr = svc.Wait(ctx, victim.ID)
+		waitErr <- werr
+	}()
+	if _, err := svc.Cancel(victim.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-waitErr; err != nil {
+		t.Fatalf("Wait on cancelled job: %v", err)
+	}
+	if waited.State != StateCancelled {
+		t.Fatalf("cancelled-while-queued job reported %q", waited.State)
+	}
+	if _, err := svc.Cancel(blocker.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// A context that fires first wins over the job.
+	stuck, err := svc.Submit(JobSpec{Solver: "test-block", Instance: "u_c_hihi.0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, shortCancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer shortCancel()
+	if _, err := svc.Wait(short, stuck.ID); err != context.DeadlineExceeded {
+		t.Fatalf("Wait under expired context: %v", err)
+	}
+}
+
+// TestMatrixSizeCap covers the server-side DoS guard: oversized
+// instances — sized benchmark names or inline matrices — are rejected
+// at Submit, before any generation or caching happens.
+func TestMatrixSizeCap(t *testing.T) {
+	svc := New(Config{Workers: 1, MaxMatrixEntries: 10000})
+	defer svc.Close()
+
+	// Within the cap: a sized name resolves and runs.
+	if _, err := svc.Submit(JobSpec{Solver: "minmin", Instance: "u_c_hihi.0@100x10"}); err != nil {
+		t.Fatalf("in-cap sized instance rejected: %v", err)
+	}
+	// Beyond the cap: rejected at submit.
+	if _, err := svc.Submit(JobSpec{Solver: "minmin", Instance: "u_c_hihi.0@101x100"}); err == nil {
+		t.Fatal("oversized sized instance accepted")
+	}
+	// The plain benchmark name (512×16 = 8192 entries) stays in cap.
+	if _, err := svc.Submit(JobSpec{Solver: "minmin", Instance: "u_c_hihi.0"}); err != nil {
+		t.Fatalf("benchmark instance rejected: %v", err)
+	}
+	// Inline matrices honor the same cap.
+	big := &MatrixSpec{Tasks: 101, Machines: 100, ETC: make([]float64, 101*100)}
+	if _, err := svc.Submit(JobSpec{Solver: "minmin", Matrix: big}); err == nil {
+		t.Fatal("oversized inline matrix accepted")
+	}
+
+	// A negative cap disables the guard (trusted embedders).
+	open := New(Config{Workers: 1, MaxMatrixEntries: -1})
+	defer open.Close()
+	if _, err := open.Submit(JobSpec{Solver: "minmin", Instance: "u_c_hihi.0@200x100"}); err != nil {
+		t.Fatalf("uncapped server rejected instance: %v", err)
+	}
+}
+
+// TestSubmitBodyLimit covers the HTTP-layer guard: a request body past
+// maxSubmitBody is refused with 413 before it is buffered into the
+// decoder.
+func TestSubmitBodyLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	body := `{"solver":"minmin","instance":"` + strings.Repeat("a", maxSubmitBody) + `"}`
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body got %d, want 413", resp.StatusCode)
+	}
+}

@@ -52,6 +52,26 @@ func WithSeed(s Solver, seed uint64) Solver {
 	return s
 }
 
+// Reproducible is implemented by solvers that declare whether two runs
+// with equal configuration, equal seed and a deterministic budget
+// (evaluations or generations — wall-clock budgets are inherently
+// timing-dependent) produce bit-identical results. Single-threaded
+// solvers report true; solvers whose outcome depends on goroutine
+// interleaving (the asynchronous cellular GA at >1 thread, the island
+// model's timing-dependent migration) report false.
+type Reproducible interface {
+	Reproducible() bool
+}
+
+// IsReproducible reports the solver's declared reproducibility. Solvers
+// that do not implement Reproducible make no claim and report false, so
+// conformance harnesses only assert run-to-run equality where it is
+// promised.
+func IsReproducible(s Solver) bool {
+	r, ok := s.(Reproducible)
+	return ok && r.Reproducible()
+}
+
 // Result reports the outcome of any solver run. It is the one result
 // shape shared across the solver layer (core.Result aliases it).
 type Result struct {

@@ -44,6 +44,10 @@ func (s Solver) WithSeed(seed uint64) solver.Solver {
 	return s
 }
 
+// Reproducible implements solver.Reproducible: the search is a single
+// deterministic trajectory.
+func (s Solver) Reproducible() bool { return true }
+
 func (s Solver) kickMoves() int {
 	if s.KickMoves <= 0 {
 		return 8

@@ -1,0 +1,31 @@
+package testkit
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// verifyNoLeak snapshots the goroutine count, runs fn, and asserts the
+// count settles back to (or below) the baseline. Worker goroutines take
+// a moment to unwind after Solve returns — the engine joins its workers
+// before returning, but the runtime needs a beat to retire them — so
+// the check retries for a bounded window before dumping stacks.
+func verifyNoLeak(t *testing.T, fn func()) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	fn()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s", runtime.NumGoroutine(), before, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,7 +1,9 @@
 package gridsched
 
 import (
+	"bytes"
 	"context"
+	"strings"
 	"testing"
 	"time"
 )
@@ -169,5 +171,45 @@ func TestSolveUnknownName(t *testing.T) {
 	}
 	if _, err := LookupSolver("tabu"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFacadeSweep runs a small scenario sweep through the public entry
+// point: classes × solvers through the service pool, with the report
+// rendering both ways.
+func TestFacadeSweep(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := Sweep(ctx, SweepConfig{
+		Classes: []Class{
+			{Consistency: Consistent, TaskHet: HighHet, MachineHet: HighHet},
+			{Consistency: Inconsistent, TaskHet: LowHet, MachineHet: LowHet},
+		},
+		Tasks:    48,
+		Machines: 6,
+		Solvers:  []string{"minmin", "tabu"},
+		Budget:   Budget{MaxEvaluations: 400},
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.State != JobDone {
+			t.Fatalf("%s on %s: %s (%s)", c.Solver, c.Instance, c.State, c.Err)
+		}
+	}
+	if table := rep.Table(); !strings.Contains(table, "tabu") || !strings.Contains(table, "minmin") {
+		t.Fatalf("table missing solver rows:\n%s", table)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 5 {
+		t.Fatalf("CSV has %d lines, want 5", lines)
 	}
 }
