@@ -271,6 +271,149 @@ func BenchmarkLockingStrategy(b *testing.B) {
 	}
 }
 
+// --- Evaluation engine: indexed completion times ---
+
+// benchEvalInstance generates a 512×M instance of the paper's hihi
+// class for the evaluation-engine benchmarks.
+func benchEvalInstance(b *testing.B, machines int) *Instance {
+	b.Helper()
+	cl := Class{Consistency: Inconsistent, TaskHet: HighHet, MachineHet: HighHet}
+	in, err := Generate(GenSpec{Class: cl, Tasks: 512, Machines: machines, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// makespanScan is the pre-index evaluation for reference: a full O(M)
+// scan over the completion-time vector. Comparing
+// BenchmarkMakespan/M=x against BenchmarkMakespanScanRef/M=x reads off
+// what the tournament index buys at each machine count.
+func makespanScan(s *schedule.Schedule) float64 {
+	max := 0.0
+	for _, c := range s.CT {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+var benchMachineCounts = []int{16, 64, 256}
+
+// BenchmarkMakespan measures the O(1) indexed makespan read.
+func BenchmarkMakespan(b *testing.B) {
+	for _, m := range benchMachineCounts {
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			s := schedule.NewRandom(benchEvalInstance(b, m), rng.New(1))
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink = s.Makespan()
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkMakespanScanRef measures the old O(M) scan on the same
+// schedules; it exists purely as the comparator for BenchmarkMakespan.
+func BenchmarkMakespanScanRef(b *testing.B) {
+	for _, m := range benchMachineCounts {
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			s := schedule.NewRandom(benchEvalInstance(b, m), rng.New(1))
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink = makespanScan(s)
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkMove measures the O(log M) incremental move (compensated CT
+// update plus tournament repair), over a precomputed random move
+// stream so RNG cost stays out of the loop.
+func BenchmarkMove(b *testing.B) {
+	for _, m := range benchMachineCounts {
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			in := benchEvalInstance(b, m)
+			r := rng.New(2)
+			s := schedule.NewRandom(in, r)
+			const stream = 1 << 12
+			tasks := make([]int, stream)
+			macs := make([]int, stream)
+			for i := range tasks {
+				tasks[i], macs[i] = r.Intn(in.T), r.Intn(in.M)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := i & (stream - 1)
+				s.Move(tasks[k], macs[k])
+			}
+		})
+	}
+}
+
+// BenchmarkMoveMakespan measures the steady-state breeding hot pair —
+// one move followed by one fitness read — which is the unit of work
+// every metaheuristic in the registry repeats millions of times.
+func BenchmarkMoveMakespan(b *testing.B) {
+	for _, m := range benchMachineCounts {
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			in := benchEvalInstance(b, m)
+			r := rng.New(3)
+			s := schedule.NewRandom(in, r)
+			const stream = 1 << 12
+			tasks := make([]int, stream)
+			macs := make([]int, stream)
+			for i := range tasks {
+				tasks[i], macs[i] = r.Intn(in.T), r.Intn(in.M)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				k := i & (stream - 1)
+				s.Move(tasks[k], macs[k])
+				sink = s.Makespan()
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkMoveMakespanScanRef is the same hot pair with the fitness
+// read done by the old full scan — the pre-index cost model.
+func BenchmarkMoveMakespanScanRef(b *testing.B) {
+	for _, m := range benchMachineCounts {
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			in := benchEvalInstance(b, m)
+			r := rng.New(3)
+			s := schedule.NewRandom(in, r)
+			const stream = 1 << 12
+			tasks := make([]int, stream)
+			macs := make([]int, stream)
+			for i := range tasks {
+				tasks[i], macs[i] = r.Intn(in.T), r.Intn(in.M)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				k := i & (stream - 1)
+				s.Move(tasks[k], macs[k])
+				sink = makespanScan(s)
+			}
+			_ = sink
+		})
+	}
+}
+
 // --- Ablation 3: incremental vs full fitness evaluation ---
 
 func BenchmarkIncrementalEval(b *testing.B) {

@@ -163,12 +163,13 @@ func StruggleContext(ctx context.Context, inst *etc.Instance, cfg StruggleConfig
 		}
 	}
 	return &core.Result{
-		Best:        pop[bestIdx].Clone(),
-		BestFitness: fit[bestIdx],
-		Evaluations: eng.Evals(),
-		Generations: steps,
-		PerThread:   []int64{steps},
-		Duration:    eng.Elapsed(),
+		Best:            pop[bestIdx].Clone(),
+		BestFitness:     fit[bestIdx],
+		Evaluations:     eng.Evals(),
+		Generations:     steps,
+		PerThread:       []int64{steps},
+		Duration:        eng.Elapsed(),
+		EffectiveBudget: eng.EffectiveBudget(),
 	}, nil
 }
 

@@ -204,14 +204,15 @@ loop:
 
 	b := bestIdx()
 	return &core.Result{
-		Best:        pop[b].Clone(),
-		BestFitness: fit[b],
-		Evaluations: eng.Evals(),
-		Generations: gens,
-		PerThread:   []int64{gens},
-		Duration:    eng.Elapsed(),
-		Convergence: conv,
-		Diversity:   div,
+		Best:            pop[b].Clone(),
+		BestFitness:     fit[b],
+		Evaluations:     eng.Evals(),
+		Generations:     gens,
+		PerThread:       []int64{gens},
+		Duration:        eng.Elapsed(),
+		EffectiveBudget: eng.EffectiveBudget(),
+		Convergence:     conv,
+		Diversity:       div,
 	}, nil
 }
 

@@ -30,6 +30,14 @@ type Baseline struct {
 	// (0.25 = fail when ns/op grows more than 25%); guards may
 	// override it.
 	Threshold float64 `json:"threshold"`
+	// FloorNs is the absolute ns/op growth a regression must also
+	// exceed before it fails the guard (default 2 ns). Sub-nanosecond
+	// benchmarks (the O(1) makespan read is ~2-3 CPU cycles) vary more
+	// than any relative threshold across runner SKUs and clock states;
+	// the floor keeps them recorded without letting clock variance
+	// fail the build, while leaving every benchmark above a few ns/op
+	// fully guarded (their 25% exceeds the floor many times over).
+	FloorNs float64 `json:"floor_ns,omitempty"`
 	// Benchmarks maps the name as printed by `go test -bench` (with
 	// the -N GOMAXPROCS suffix stripped) to its recorded cost.
 	Benchmarks map[string]Entry `json:"benchmarks"`
@@ -100,17 +108,27 @@ type Result struct {
 	Missing bool
 }
 
+// DefaultFloorNs is the absolute-growth floor applied when neither the
+// baseline nor the caller sets one.
+const DefaultFloorNs = 2.0
+
 // Compare checks every baseline benchmark against the current
 // measurements. Benchmarks present in current but absent from the
 // baseline are ignored (new benchmarks do not fail the guard; add them
-// with -update). The returned results are sorted by name; ok reports
-// whether the guard passes.
+// with -update). A regression fails the guard only when it exceeds the
+// relative threshold and the absolute floor (see Baseline.FloorNs).
+// The returned results are sorted by name; ok reports whether the
+// guard passes.
 func Compare(base Baseline, current map[string]float64, threshold float64) (results []Result, ok bool) {
 	if threshold <= 0 {
 		threshold = base.Threshold
 	}
 	if threshold <= 0 {
 		threshold = 0.25
+	}
+	floor := base.FloorNs
+	if floor <= 0 {
+		floor = DefaultFloorNs
 	}
 	ok = true
 	for name, want := range base.Benchmarks {
@@ -126,7 +144,7 @@ func Compare(base Baseline, current map[string]float64, threshold float64) (resu
 		if want.NsPerOp > 0 {
 			res.Delta = got/want.NsPerOp - 1
 		}
-		if res.Delta > threshold {
+		if res.Delta > threshold && got-want.NsPerOp > floor {
 			res.Regressed = true
 			ok = false
 		}

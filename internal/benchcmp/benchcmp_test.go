@@ -149,3 +149,34 @@ func TestReadBaselineRejectsEmpty(t *testing.T) {
 		t.Fatal("empty baseline accepted")
 	}
 }
+
+func TestCompareAbsoluteFloor(t *testing.T) {
+	// A sub-nanosecond benchmark regressing 50% relative but well under
+	// the absolute floor is clock variance, not a code regression.
+	base := Baseline{Threshold: 0.25, Benchmarks: map[string]Entry{
+		"BenchmarkTiny": {NsPerOp: 0.6},
+		"BenchmarkBig":  {NsPerOp: 100},
+	}}
+	results, ok := Compare(base, map[string]float64{
+		"BenchmarkTiny": 0.9, // +50% relative, +0.3 ns absolute
+		"BenchmarkBig":  100,
+	}, 0)
+	if !ok {
+		t.Fatalf("guard failed on a sub-floor absolute delta: %+v", results)
+	}
+	// The floor must not shelter real regressions on normal benchmarks.
+	if _, ok := Compare(base, map[string]float64{
+		"BenchmarkTiny": 0.6,
+		"BenchmarkBig":  140, // +40%, +40 ns
+	}, 0); ok {
+		t.Fatal("guard passed a 40% regression above the floor")
+	}
+	// An explicit baseline floor overrides the default.
+	base.FloorNs = 50
+	if _, ok := Compare(base, map[string]float64{
+		"BenchmarkTiny": 0.6,
+		"BenchmarkBig":  140, // +40 ns: under the 50 ns floor
+	}, 0); !ok {
+		t.Fatal("explicit 50 ns floor not honored")
+	}
+}

@@ -89,6 +89,7 @@ func RunContext(ctx context.Context, inst *etc.Instance, p Params) (*Result, err
 		Evaluations:      eng.Evals(),
 		LocalSearchMoves: lsMoves.Load(),
 		Duration:         eng.Elapsed(),
+		EffectiveBudget:  eng.EffectiveBudget(),
 		PerThread:        make([]int64, len(workers)),
 	}
 	for i, w := range workers {
@@ -121,6 +122,7 @@ type worker struct {
 	p1, p2, child *schedule.Schedule
 	neigh         []int
 	cands         []operators.Candidate
+	scratch       schedule.Scratch
 
 	gens     int64
 	conv     []float64
@@ -207,9 +209,10 @@ func (w *worker) evolveCell(cell int) {
 		}
 	}
 
-	// evaluate: with the default makespan objective this is a scan of
-	// the machine vector, thanks to incremental completion times.
-	fit := p.fitness(w.child)
+	// evaluate: the default makespan objective is an O(1) read of the
+	// indexed completion times; the flowtime-weighted objective runs
+	// through this worker's scratch arena.
+	fit := p.fitnessWith(w.child, &w.scratch)
 	w.eng.AddEvals(1)
 
 	// replace: install into the current cell under the write lock if the

@@ -153,13 +153,26 @@ func (p Params) withBudget(b solver.Budget) Params {
 	return p
 }
 
-// fitness evaluates a schedule under the configured objective.
+// fitness evaluates a schedule under the configured objective. Hot
+// loops that own a worker-local arena should call fitnessWith instead.
 func (p *Params) fitness(s *schedule.Schedule) float64 {
 	if p.FlowtimeWeight <= 0 {
 		return s.Makespan()
 	}
 	w := p.FlowtimeWeight
 	return (1-w)*s.Makespan() + w*s.Flowtime()/float64(s.Inst.T)
+}
+
+// fitnessWith is fitness through a caller-owned scratch arena: the
+// makespan term is an O(1) indexed read, and the flowtime term (when
+// weighted in) buckets into the worker's reusable buffers instead of
+// allocating per evaluation.
+func (p *Params) fitnessWith(s *schedule.Schedule, sc *schedule.Scratch) float64 {
+	if p.FlowtimeWeight <= 0 {
+		return s.Makespan()
+	}
+	w := p.FlowtimeWeight
+	return (1-w)*s.Makespan() + w*s.FlowtimeInto(sc)/float64(s.Inst.T)
 }
 
 // DefaultParams returns the Table 1 parameterization with the §4.2

@@ -58,6 +58,7 @@ func RunSyncContext(ctx context.Context, inst *etc.Instance, p Params) (*Result,
 	var gens int64
 	var conv, div []float64
 	var divCount []int
+	var scratch schedule.Scratch
 
 loop:
 	for {
@@ -100,7 +101,7 @@ loop:
 			if p.LocalProb > 0 && r.Bool(p.LocalProb) {
 				lsMoves += int64(p.Local.Apply(aux[cell], r))
 			}
-			auxFit[cell] = p.fitness(aux[cell])
+			auxFit[cell] = p.fitnessWith(aux[cell], &scratch)
 			eng.AddEvals(1)
 			accepted[cell] = p.Replacement.Accepts(pop.cells[cell].fit, auxFit[cell])
 		}
@@ -126,6 +127,7 @@ loop:
 		Evaluations:      eng.Evals(),
 		LocalSearchMoves: lsMoves,
 		Duration:         eng.Elapsed(),
+		EffectiveBudget:  eng.EffectiveBudget(),
 		Generations:      gens,
 		PerThread:        []int64{gens},
 		Convergence:      conv,

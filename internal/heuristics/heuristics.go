@@ -72,11 +72,24 @@ func MaxMin(inst *etc.Instance) *schedule.Schedule {
 	return minMaxMin(inst, false)
 }
 
+// minMaxMin runs Min-min / Max-min with cached per-task best
+// completions. Committing a task changes exactly one machine's CT — and
+// only upward, since ETC entries are positive — so a task's cached
+// (machine, completion) pair stays exact unless its cached machine is
+// the one that just grew; only those tasks rescan the machine vector.
+// This drops the classic O(T²·M) triple loop to O(T²) scans plus an
+// expected O(T·M) of rescans, while choosing bit-identical assignments
+// (the cache returns exactly what a rescan would).
 func minMaxMin(inst *etc.Instance, min bool) *schedule.Schedule {
 	s := schedule.New(inst)
 	unassigned := make([]int, inst.T)
 	for i := range unassigned {
 		unassigned[i] = i
+	}
+	bestMac := make([]int, inst.T)
+	bestCT := make([]float64, inst.T)
+	for i := range bestMac {
+		bestMac[i] = -1 // not yet computed
 	}
 	for len(unassigned) > 0 {
 		chosenIdx, chosenMac := -1, -1
@@ -85,15 +98,22 @@ func minMaxMin(inst *etc.Instance, min bool) *schedule.Schedule {
 			chosenCT = math.Inf(-1)
 		}
 		for idx, t := range unassigned {
-			mac, ct := bestCompletion(s, t)
-			if (min && ct < chosenCT) || (!min && ct > chosenCT) {
-				chosenIdx, chosenMac, chosenCT = idx, mac, ct
+			if bestMac[t] < 0 {
+				bestMac[t], bestCT[t] = bestCompletion(s, t)
+			}
+			if (min && bestCT[t] < chosenCT) || (!min && bestCT[t] > chosenCT) {
+				chosenIdx, chosenMac, chosenCT = idx, bestMac[t], bestCT[t]
 			}
 		}
 		t := unassigned[chosenIdx]
 		s.Assign(t, chosenMac)
 		unassigned[chosenIdx] = unassigned[len(unassigned)-1]
 		unassigned = unassigned[:len(unassigned)-1]
+		for _, u := range unassigned {
+			if bestMac[u] == chosenMac {
+				bestMac[u] = -1
+			}
+		}
 	}
 	return s
 }
@@ -144,40 +164,61 @@ func OLB(inst *etc.Instance) *schedule.Schedule {
 
 // Sufferage commits, at each step, the unassigned task that would
 // "suffer" most if denied its best machine: the one with the largest gap
-// between its best and second-best completion times.
+// between its best and second-best completion times. Like minMaxMin it
+// caches each task's (best, second-best) pair and rescans a task only
+// when the machine that just grew is the task's cached best or
+// second-best — any other machine's increase cannot change either value
+// (completion times only grow, and the grown machine was strictly worse
+// than the cached second).
 func Sufferage(inst *etc.Instance) *schedule.Schedule {
 	s := schedule.New(inst)
 	unassigned := make([]int, inst.T)
 	for i := range unassigned {
 		unassigned[i] = i
 	}
+	type suffCache struct {
+		bestMac, secondMac int
+		best, second       float64
+	}
+	cache := make([]suffCache, inst.T)
+	for i := range cache {
+		cache[i].bestMac = -1 // not yet computed
+	}
 	for len(unassigned) > 0 {
 		chosenIdx, chosenMac := -1, -1
 		chosenSuff := math.Inf(-1)
 		for idx, t := range unassigned {
-			best, second := math.Inf(1), math.Inf(1)
-			bestMac := -1
-			for m := 0; m < inst.M; m++ {
-				c := s.CT[m] + inst.ETC(t, m)
-				if c < best {
-					second = best
-					best, bestMac = c, m
-				} else if c < second {
-					second = c
+			c := &cache[t]
+			if c.bestMac < 0 {
+				c.best, c.second = math.Inf(1), math.Inf(1)
+				c.bestMac, c.secondMac = -1, -1
+				for m := 0; m < inst.M; m++ {
+					v := s.CT[m] + inst.ETC(t, m)
+					if v < c.best {
+						c.second, c.secondMac = c.best, c.bestMac
+						c.best, c.bestMac = v, m
+					} else if v < c.second {
+						c.second, c.secondMac = v, m
+					}
 				}
 			}
-			suff := second - best
+			suff := c.second - c.best
 			if inst.M == 1 {
 				suff = 0
 			}
 			if suff > chosenSuff {
-				chosenIdx, chosenMac, chosenSuff = idx, bestMac, suff
+				chosenIdx, chosenMac, chosenSuff = idx, c.bestMac, suff
 			}
 		}
 		t := unassigned[chosenIdx]
 		s.Assign(t, chosenMac)
 		unassigned[chosenIdx] = unassigned[len(unassigned)-1]
 		unassigned = unassigned[:len(unassigned)-1]
+		for _, u := range unassigned {
+			if cache[u].bestMac == chosenMac || cache[u].secondMac == chosenMac {
+				cache[u].bestMac = -1
+			}
+		}
 	}
 	return s
 }

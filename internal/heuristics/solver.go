@@ -36,10 +36,11 @@ func (c Constructive) Solve(ctx context.Context, inst *etc.Instance, _ solver.Bu
 	s := c.fn(inst)
 	eng.AddEvals(1)
 	return &solver.Result{
-		Best:        s,
-		BestFitness: s.Makespan(),
-		Evaluations: eng.Evals(),
-		Duration:    eng.Elapsed(),
+		Best:            s,
+		BestFitness:     s.Makespan(),
+		Evaluations:     eng.Evals(),
+		Duration:        eng.Elapsed(),
+		EffectiveBudget: eng.EffectiveBudget(),
 	}, nil
 }
 

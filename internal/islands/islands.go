@@ -93,6 +93,22 @@ func (c Config) withDefaults() Config {
 	if c.Local == nil {
 		c.Local = def.Local
 	}
+	// The operator probabilities mirror core.Params (Table 1: all 1.0).
+	// Leaving them at zero silently disabled crossover, mutation and
+	// local search entirely: the island GA only shuffled copies of its
+	// initial individuals around, and the "improvements" it still
+	// reported were completion-time rounding drift accumulated by the
+	// migrant rebuild path — the exact artifact the compensated
+	// completion-time engine eliminates.
+	if c.CrossProb == 0 {
+		c.CrossProb = def.CrossProb
+	}
+	if c.MutProb == 0 {
+		c.MutProb = def.MutProb
+	}
+	if c.LocalProb == 0 {
+		c.LocalProb = def.LocalProb
+	}
 	return c
 }
 
@@ -219,9 +235,10 @@ func RunContext(ctx context.Context, inst *etc.Instance, cfg Config) (*core.Resu
 	wg.Wait()
 
 	res := &core.Result{
-		Evaluations: eng.Evals(),
-		Duration:    eng.Elapsed(),
-		PerThread:   make([]int64, cfg.Islands),
+		Evaluations:     eng.Evals(),
+		Duration:        eng.Elapsed(),
+		EffectiveBudget: eng.EffectiveBudget(),
+		PerThread:       make([]int64, cfg.Islands),
 	}
 	bestFit := islands[0].fit[0]
 	var best *schedule.Schedule

@@ -7,6 +7,7 @@ package operators
 
 import (
 	"fmt"
+	"sync"
 
 	"gridsched/internal/rng"
 	"gridsched/internal/schedule"
@@ -358,7 +359,16 @@ type H2LL struct {
 // Name implements LocalSearch.
 func (h H2LL) Name() string { return fmt.Sprintf("h2ll/%d", h.Iterations) }
 
-// Apply implements LocalSearch.
+// h2llPool holds reusable candidate buffers so Apply — called once per
+// offspring on every worker — stays off the allocator.
+var h2llPool = sync.Pool{New: func() any { return new([]int) }}
+
+// Apply implements LocalSearch. Each iteration reads the makespan
+// machine in O(1) from the schedule's max index and selects the
+// Candidates least-loaded machines by partial selection
+// (O(machines·log Candidates)) instead of fully sorting the machine
+// vector, with a pooled scratch buffer instead of a per-call
+// allocation.
 func (h H2LL) Apply(s *schedule.Schedule, r *rng.Rand) int {
 	if h.Iterations <= 0 {
 		return 0
@@ -374,11 +384,11 @@ func (h H2LL) Apply(s *schedule.Schedule, r *rng.Rand) int {
 	if ncand < 1 {
 		return 0
 	}
-	order := make([]int, m)
+	bufp := h2llPool.Get().(*[]int)
+	defer h2llPool.Put(bufp)
 	moves := 0
 	for it := 0; it < h.Iterations; it++ {
-		order = s.MachinesByCompletion(order)
-		worst := order[m-1] // most loaded: defines the makespan
+		worst, worstCT := s.MakespanMachine()
 		task := s.RandomTaskOn(worst, r)
 		if task < 0 {
 			// The makespan machine holds no task (all load is ready
@@ -386,9 +396,13 @@ func (h H2LL) Apply(s *schedule.Schedule, r *rng.Rand) int {
 			// the same machine.
 			break
 		}
-		bestScore := s.CT[worst]
+		cand := s.LeastLoaded(*bufp, ncand)
+		*bufp = cand
+		bestScore := worstCT
 		bestMac := -1
-		for _, mac := range order[:ncand] {
+		for _, mac := range cand {
+			// mac can tie-collide with the makespan machine itself; the
+			// strict < (ETC is positive) keeps self-moves impossible.
 			newScore := s.CT[mac] + s.Inst.ETC(task, mac)
 			if newScore < bestScore {
 				bestScore = newScore

@@ -142,10 +142,13 @@ func Sweep(ctx context.Context, cfg Config) (*Report, error) {
 	report := &Report{
 		Tasks:    orDefault(cfg.Tasks, etc.DefaultTasks),
 		Machines: orDefault(cfg.Machines, etc.DefaultMachines),
-		Budget:   budget,
-		Seed:     cfg.Seed,
-		Classes:  classes,
-		Solvers:  names,
+		// The report shows the budget each job actually runs under: a
+		// sweep driven through a deadline context would otherwise print
+		// a misleading "unbounded" (or too-loose) per-job budget.
+		Budget:  budget.EffectiveFor(ctx),
+		Seed:    cfg.Seed,
+		Classes: classes,
+		Solvers: names,
 	}
 
 	svc := service.New(service.Config{

@@ -59,10 +59,19 @@ func (c *instanceCache) get(name string) (*etc.Instance, error) {
 		return inst, nil
 	}
 	if p, ok := c.pending[name]; ok {
-		c.hits++
 		c.mu.Unlock()
 		<-p.done
-		return p.inst, p.err
+		if p.err != nil {
+			// A failed single-flight join is neither a hit (no instance
+			// was served) nor a second miss (the flight was already
+			// counted by its initiator); counting it as a hit inflated
+			// hit-rate stats during error storms.
+			return nil, p.err
+		}
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		return p.inst, nil
 	}
 	c.misses++
 	p := &pendingGen{done: make(chan struct{})}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"errors"
 	"sync"
 	"testing"
 )
@@ -46,6 +47,62 @@ func TestInstanceCacheLRU(t *testing.T) {
 	}
 }
 
+// TestInstanceCacheFailedJoinAccounting pins the hit accounting of
+// single-flight joins: a waiter that joins a pending generation counts
+// as a hit only if the generation succeeds. A failed join is neither a
+// hit (no instance was served) nor a second miss (the initiating caller
+// already counted the flight), so an error storm on one bad name cannot
+// inflate the hit rate.
+func TestInstanceCacheFailedJoinAccounting(t *testing.T) {
+	// A sized name whose dimensions fail validation: the initiating
+	// caller's generation errors, counting exactly one miss.
+	const bad = "u_c_hihi.0@99999999x99999999"
+	c := newInstanceCache(2)
+	if _, err := c.get(bad); err == nil {
+		t.Fatal("oversized instance name generated successfully")
+	}
+	if hits, misses, _ := c.counters(); hits != 0 || misses != 1 {
+		t.Fatalf("after failed generation: %d hits, %d misses; want 0/1", hits, misses)
+	}
+
+	// A waiter joining a pending flight that fails: the pending entry is
+	// installed by hand so the join is deterministic (no race against a
+	// fast generator). The waiter must report the error and leave both
+	// counters untouched.
+	// The entry is installed before get runs on this goroutine, so the
+	// join is certain; the helper then fails the flight (p.err is
+	// visible to the waiter via the channel close, mirroring the real
+	// generation path).
+	p := &pendingGen{done: make(chan struct{})}
+	c.mu.Lock()
+	c.pending[bad] = p
+	c.mu.Unlock()
+	go func() {
+		p.err = errGenerationFailed
+		c.mu.Lock()
+		delete(c.pending, bad)
+		c.mu.Unlock()
+		close(p.done)
+	}()
+	if _, err := c.get(bad); err != errGenerationFailed {
+		t.Fatalf("joined waiter error = %v, want %v", err, errGenerationFailed)
+	}
+	if hits, misses, _ := c.counters(); hits != 0 || misses != 1 {
+		t.Fatalf("after failed join: %d hits, %d misses; want 0/1 (failed joins count as neither)", hits, misses)
+	}
+
+	// A successful join still counts as a hit.
+	if _, err := c.get("u_c_hihi.0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.get("u_c_hihi.0"); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses, _ := c.counters(); hits != 1 || misses != 2 {
+		t.Fatalf("after successful hit: %d hits, %d misses; want 1/2", hits, misses)
+	}
+}
+
 func TestInstanceCacheConcurrent(t *testing.T) {
 	c := newInstanceCache(4)
 	var wg sync.WaitGroup
@@ -69,3 +126,7 @@ func TestInstanceCacheConcurrent(t *testing.T) {
 		}
 	}
 }
+
+// errGenerationFailed is the sentinel used by the deterministic
+// failed-join test above.
+var errGenerationFailed = errors.New("generation failed")

@@ -120,7 +120,10 @@ type jobResultJSON struct {
 	Generations      int64   `json:"generations"`
 	LocalSearchMoves int64   `json:"local_search_moves"`
 	Duration         string  `json:"duration"`
-	Assignment       []int   `json:"assignment,omitempty"`
+	// EffectiveBudget is the bound the run actually enforced (the
+	// submitted budget plus any context deadline the engine absorbed).
+	EffectiveBudget *budgetJSON `json:"effective_budget,omitempty"`
+	Assignment      []int       `json:"assignment,omitempty"`
 }
 
 func jobToJSON(j Job, includeAssignment bool) jobJSON {
@@ -155,6 +158,7 @@ func jobToJSON(j Job, includeAssignment bool) jobJSON {
 			Generations:      r.Generations,
 			LocalSearchMoves: r.LocalSearchMoves,
 			Duration:         r.Duration.String(),
+			EffectiveBudget:  budgetToJSON(r.EffectiveBudget),
 		}
 		if includeAssignment {
 			out.Result.Assignment = r.Assignment

@@ -96,7 +96,11 @@ type JobResult struct {
 	Generations      int64
 	LocalSearchMoves int64
 	Duration         time.Duration
-	Assignment       []int
+	// EffectiveBudget is the budget the solver actually enforced,
+	// including any context deadline absorbed by the stop engine — the
+	// submitted Job.Budget alone reads "unbounded" in that case.
+	EffectiveBudget solver.Budget
+	Assignment      []int
 }
 
 // job is the manager's mutable record behind Job snapshots.
@@ -251,6 +255,7 @@ func (j *job) snapshot() Job {
 			Generations:      r.Generations,
 			LocalSearchMoves: r.LocalSearchMoves,
 			Duration:         r.Duration,
+			EffectiveBudget:  r.EffectiveBudget,
 			Assignment:       append([]int(nil), r.Best.S...),
 		}
 	}

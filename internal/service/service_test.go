@@ -636,3 +636,53 @@ func TestSubmitBodyLimit(t *testing.T) {
 		t.Fatalf("oversized body got %d, want 413", resp.StatusCode)
 	}
 }
+
+// TestJobReportsEffectiveBudget pins the budget a finished job reports:
+// the bounds the solver's engine actually enforced, including the
+// server's MaxDuration clamp — never a misleading "unbounded" for a run
+// that was in fact time-bounded.
+func TestJobReportsEffectiveBudget(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 1, MaxDuration: time.Minute})
+
+	// The spec asks only for an evaluation bound; the server clamps in
+	// its one-minute duration cap on top.
+	j, err := svc.Submit(JobSpec{
+		Solver:   "tabu",
+		Instance: "u_c_hihi.0",
+		Budget:   solver.Budget{MaxEvaluations: 200},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	done, err := svc.Wait(ctx, j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != StateDone || done.Result == nil {
+		t.Fatalf("job did not finish cleanly: %+v", done)
+	}
+	eff := done.Result.EffectiveBudget
+	if eff.MaxEvaluations != 200 {
+		t.Fatalf("EffectiveBudget.MaxEvaluations = %d, want 200", eff.MaxEvaluations)
+	}
+	if eff.MaxDuration <= 0 || eff.MaxDuration > time.Minute {
+		t.Fatalf("EffectiveBudget.MaxDuration = %v, want the clamped (0, 1m] bound", eff.MaxDuration)
+	}
+	if eff.String() == "unbounded" {
+		t.Fatal("effective budget renders as unbounded for a bounded run")
+	}
+
+	// And over the wire: the job JSON carries effective_budget.
+	var got jobJSON
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+j.ID, "", &got); code != http.StatusOK {
+		t.Fatalf("get: status %d", code)
+	}
+	if got.Result == nil || got.Result.EffectiveBudget == nil {
+		t.Fatalf("job JSON missing effective_budget: %+v", got.Result)
+	}
+	if got.Result.EffectiveBudget.MaxEvaluations != 200 || got.Result.EffectiveBudget.MaxDuration == "" {
+		t.Fatalf("effective_budget JSON = %+v, want evals 200 and a duration", got.Result.EffectiveBudget)
+	}
+}

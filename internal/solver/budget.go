@@ -48,6 +48,31 @@ func (b Budget) String() string {
 	return strings.Join(parts, " ")
 }
 
+// EffectiveFor returns the budget as it will actually bind when run
+// under ctx: a context deadline tightens (or introduces) MaxDuration,
+// exactly as NewEngine absorbs it. Reports rendering a submitted
+// Budget alone would claim "unbounded" for a run stopped by a context
+// deadline; render the effective budget instead.
+func (b Budget) EffectiveFor(ctx context.Context) Budget {
+	if ctx == nil {
+		return b
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); b.MaxDuration <= 0 || rem < b.MaxDuration {
+			// Round for report readability (EffectiveFor feeds reports,
+			// not enforcement — NewEngine absorbs the exact deadline).
+			// An expired or sub-millisecond remainder clamps to a
+			// minimal positive bound: zero or negative would read back
+			// as "unbounded", the exact misreport this method removes.
+			if rem = rem.Round(time.Millisecond); rem <= 0 {
+				rem = time.Millisecond
+			}
+			b.MaxDuration = rem
+		}
+	}
+	return b
+}
+
 // deadlinePollInterval is how many steady-state steps pass between
 // deadline/cancellation polls in StopStep. Single-threaded breeding
 // steps are microseconds, so polling every 64th keeps the overshoot
@@ -89,8 +114,27 @@ func NewEngine(ctx context.Context, b Budget) *Engine {
 	return e
 }
 
-// Budget returns the bounds the engine enforces.
+// Budget returns the bounds the engine was created with.
 func (e *Engine) Budget() Budget { return e.budget }
+
+// EffectiveBudget returns the bounds the engine actually enforces: when
+// a deadline is in force — whether from the budget's own MaxDuration or
+// absorbed from the context at NewEngine time — MaxDuration reflects
+// the distance from the engine's start to that effective deadline.
+// Solvers record it on Result so job and sweep reports never show
+// "unbounded" for a run that a context deadline is bounding.
+func (e *Engine) EffectiveBudget() Budget {
+	b := e.budget
+	if !e.deadline.IsZero() {
+		// A deadline already expired at engine start still bounds the
+		// run (it stops immediately); clamp to a minimal positive
+		// duration so the report never claims "unbounded".
+		if b.MaxDuration = e.deadline.Sub(e.start); b.MaxDuration <= 0 {
+			b.MaxDuration = time.Nanosecond
+		}
+	}
+	return b
+}
 
 // AddEvals records n fitness evaluations and returns the new total.
 func (e *Engine) AddEvals(n int64) int64 { return e.evals.Add(n) }

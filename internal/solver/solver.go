@@ -91,6 +91,12 @@ type Result struct {
 	LocalSearchMoves int64
 	// Duration is the measured wall time of the evolution phase.
 	Duration time.Duration
+	// EffectiveBudget records the bounds the run actually enforced: the
+	// submitted budget with any context deadline absorbed by the stop
+	// engine folded into MaxDuration (see Engine.EffectiveBudget).
+	// Reporting the submitted budget alone misleads — it reads
+	// "unbounded" when a context deadline was the real bound.
+	EffectiveBudget Budget
 	// Convergence, when recording was requested, holds the mean
 	// population makespan at each generation index (Fig. 6).
 	Convergence []float64

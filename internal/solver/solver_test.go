@@ -190,3 +190,78 @@ func TestWithSeedHelper(t *testing.T) {
 		t.Fatal("WithSeed did not reconfigure a Seeder")
 	}
 }
+
+func TestEffectiveBudgetSurfacesContextDeadline(t *testing.T) {
+	// A zero budget under a deadline context is NOT unbounded: the
+	// engine absorbs the deadline, and EffectiveBudget must say so.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	eng := NewEngine(ctx, Budget{})
+	eff := eng.EffectiveBudget()
+	if eff.MaxDuration <= 0 {
+		t.Fatalf("EffectiveBudget.MaxDuration = %v, want > 0 under a deadline context", eff.MaxDuration)
+	}
+	if eff.String() == "unbounded" {
+		t.Fatal("EffectiveBudget renders as unbounded despite a context deadline")
+	}
+	if got := eng.Budget(); !got.IsZero() {
+		t.Fatalf("submitted budget mutated: %v", got)
+	}
+
+	// The tighter of budget duration and context deadline wins.
+	eng = NewEngine(ctx, Budget{MaxDuration: time.Minute, MaxEvaluations: 42})
+	eff = eng.EffectiveBudget()
+	if eff.MaxDuration != time.Minute {
+		t.Fatalf("EffectiveBudget.MaxDuration = %v, want the tighter 1m budget", eff.MaxDuration)
+	}
+	if eff.MaxEvaluations != 42 {
+		t.Fatalf("EffectiveBudget dropped MaxEvaluations: %v", eff)
+	}
+	eng = NewEngine(ctx, Budget{MaxDuration: 2 * time.Hour})
+	if eff = eng.EffectiveBudget(); eff.MaxDuration > time.Hour {
+		t.Fatalf("EffectiveBudget.MaxDuration = %v, want the tighter context deadline", eff.MaxDuration)
+	}
+
+	// Without any deadline the effective budget is the submitted one.
+	eng = NewEngine(context.Background(), Budget{MaxEvaluations: 7})
+	if eff = eng.EffectiveBudget(); eff != (Budget{MaxEvaluations: 7}) {
+		t.Fatalf("EffectiveBudget = %v, want the submitted budget", eff)
+	}
+}
+
+func TestBudgetEffectiveFor(t *testing.T) {
+	b := Budget{MaxEvaluations: 5}
+	if got := b.EffectiveFor(nil); got != b {
+		t.Fatalf("EffectiveFor(nil) = %v, want %v", got, b)
+	}
+	if got := b.EffectiveFor(context.Background()); got != b {
+		t.Fatalf("EffectiveFor(Background) = %v, want %v", got, b)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	got := b.EffectiveFor(ctx)
+	if got.MaxDuration <= 0 || got.MaxDuration > time.Hour {
+		t.Fatalf("EffectiveFor deadline ctx: MaxDuration = %v", got.MaxDuration)
+	}
+	if got.MaxEvaluations != 5 {
+		t.Fatalf("EffectiveFor dropped MaxEvaluations: %v", got)
+	}
+	tight := Budget{MaxDuration: time.Millisecond}
+	if got := tight.EffectiveFor(ctx); got.MaxDuration != time.Millisecond {
+		t.Fatalf("EffectiveFor kept the looser bound: %v", got.MaxDuration)
+	}
+}
+
+func TestEffectiveBudgetExpiredDeadlineNotUnbounded(t *testing.T) {
+	// A deadline that already lapsed still bounds the run (it stops
+	// immediately); the effective budget must never read "unbounded".
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	eng := NewEngine(ctx, Budget{})
+	if eff := eng.EffectiveBudget(); eff.MaxDuration <= 0 || eff.String() == "unbounded" {
+		t.Fatalf("EffectiveBudget = %v for an expired deadline, want a positive bound", eff)
+	}
+	if eff := (Budget{}).EffectiveFor(ctx); eff.MaxDuration <= 0 || eff.String() == "unbounded" {
+		t.Fatalf("EffectiveFor = %v for an expired deadline, want a positive bound", eff)
+	}
+}

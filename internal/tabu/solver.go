@@ -110,6 +110,7 @@ func (s Solver) Solve(ctx context.Context, inst *etc.Instance, b solver.Budget) 
 		PerThread:        []int64{sweeps},
 		LocalSearchMoves: moves,
 		Duration:         eng.Elapsed(),
+		EffectiveBudget:  eng.EffectiveBudget(),
 	}, nil
 }
 

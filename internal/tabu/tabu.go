@@ -7,6 +7,7 @@ package tabu
 
 import (
 	"fmt"
+	"sync"
 
 	"gridsched/internal/rng"
 	"gridsched/internal/schedule"
@@ -50,22 +51,55 @@ func (ts Search) candidateTasks() int {
 	return ts.CandidateTasks
 }
 
+// workspace is the reusable per-call state of Apply: the tabu list, the
+// candidate-task buffer and the incumbent copy. Pooling it matters
+// because cMA+LTH calls Apply once per offspring on every worker.
+type workspace struct {
+	tabuUntil []int
+	taskBuf   []int
+	best      *schedule.Schedule
+}
+
+var workspacePool = sync.Pool{New: func() any { return new(workspace) }}
+
+// prepare sizes the workspace for s: a zeroed tabu list and an
+// incumbent copy, reusing prior allocations when the geometry matches.
+func (ws *workspace) prepare(s *schedule.Schedule) {
+	n := s.Inst.T
+	if cap(ws.tabuUntil) < n {
+		ws.tabuUntil = make([]int, n)
+	} else {
+		ws.tabuUntil = ws.tabuUntil[:n]
+		clear(ws.tabuUntil)
+	}
+	if cap(ws.taskBuf) < n {
+		ws.taskBuf = make([]int, 0, n)
+	}
+	if ws.best == nil || ws.best.Inst != s.Inst {
+		ws.best = s.Clone()
+	} else {
+		ws.best.CopyFrom(s)
+	}
+}
+
 // Apply runs the tabu search in place and returns the number of applied
 // moves that improved the best-known makespan. Unlike a pure descent,
 // tabu search accepts worsening moves to escape local optima; the best
 // schedule seen is restored before returning, so Apply never degrades
 // its input.
 func (ts Search) Apply(s *schedule.Schedule, r *rng.Rand) int {
-	n := s.Inst.T
 	m := s.Inst.M
 	if m < 2 {
 		return 0
 	}
-	tabuUntil := make([]int, n) // iteration until which a task is tabu
-	best := s.Clone()
+	ws := workspacePool.Get().(*workspace)
+	defer workspacePool.Put(ws)
+	ws.prepare(s)
+	tabuUntil := ws.tabuUntil // iteration until which a task is tabu
+	best := ws.best
 	bestFit := s.Makespan()
 	improvements := 0
-	taskBuf := make([]int, 0, n)
+	taskBuf := ws.taskBuf[:0]
 
 	for it := 1; it <= ts.maxIters(); it++ {
 		worst, worstCT := s.MakespanMachine()

@@ -171,6 +171,15 @@ func checkBudgetEvaluations(t *testing.T, s solver.Solver) {
 		t.Fatalf("Evaluations = %d exceeds budget %d beyond the %d-eval granularity allowance",
 			out.res.Evaluations, budget, EvalSlack)
 	}
+	// Every family reports the bounds its engine actually enforced.
+	// Constructive heuristics run a zero-budget engine (one pass, one
+	// evaluation); every iterative run must echo the submitted bound.
+	if got := out.res.EffectiveBudget.MaxEvaluations; got != budget && got != 0 {
+		t.Fatalf("EffectiveBudget.MaxEvaluations = %d, want %d (or 0 for a zero-budget solver)", got, budget)
+	}
+	if out.res.Evaluations > 1 && out.res.EffectiveBudget.IsZero() {
+		t.Fatalf("iterative solver reported a zero EffectiveBudget for a bounded run")
+	}
 }
 
 func checkBudgetWallClock(t *testing.T, s solver.Solver) {
