@@ -560,3 +560,53 @@ func BenchmarkPACGAAllInstances(b *testing.B) {
 		})
 	}
 }
+
+// --- Portfolio meta-solver overhead ---
+
+// BenchmarkPortfolio measures the racing meta-solver's composition
+// cost: "of-one" wraps tabu in a single-constituent portfolio (parent
+// engine, child accounting, incumbent, lane machinery, warm restarts)
+// and "direct-tabu" runs the same solver at the same budget without
+// the wrapper. The pair should stay within ~5% of each other: the
+// portfolio adds per-round bookkeeping, never per-evaluation work.
+func BenchmarkPortfolio(b *testing.B) {
+	in := benchInstance(b, "u_c_hihi.0")
+	const budget = 4000
+	run := func(b *testing.B, name string) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := Solve(name, in, SolveOptions{
+				Budget: Budget{MaxEvaluations: budget},
+				Seed:   uint64(i + 1),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Best == nil {
+				b.Fatal("no schedule")
+			}
+		}
+	}
+	b.Run("of-one", func(b *testing.B) { run(b, "portfolio:tabu") })
+	b.Run("direct-tabu", func(b *testing.B) { run(b, "tabu") })
+}
+
+// BenchmarkPortfolioRace measures the full default race (pa-cga + tabu
+// + h2ll sharing one incumbent) at a fixed evaluation budget — the
+// end-to-end cost of the meta-solver the service exposes.
+func BenchmarkPortfolioRace(b *testing.B) {
+	in := benchInstance(b, "u_c_hihi.0")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Solve("portfolio", in, SolveOptions{
+			Budget: Budget{MaxEvaluations: 4000},
+			Seed:   uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Best == nil {
+			b.Fatal("no schedule")
+		}
+	}
+}

@@ -28,7 +28,8 @@
 //	})
 //
 // SolverNames lists what is available (the cellular GAs, the literature
-// baselines, the island model, standalone tabu search, and the seven
+// baselines, the island model, standalone tabu search, the iterated
+// H2LL hill climber, the racing portfolio meta-solver, and the seven
 // constructive heuristics as zero-budget solvers).
 //
 // The subpackages under internal/ hold the implementation; this package
@@ -138,6 +139,14 @@ type Budget = solver.Budget
 // SolverResult is the result shape shared by every solver (identical
 // to Result).
 type SolverResult = solver.Result
+
+// ConstituentResult is one constituent's share of a racing portfolio
+// run (SolverResult.Constituents): its evaluations, restart rounds,
+// incumbent contributions and busy time. The portfolio meta-solver is
+// registered as "portfolio" (pa-cga + tabu + h2ll) and ad-hoc
+// compositions resolve through the registry as
+// "portfolio:name+name+..." — e.g. Solve("portfolio:ga+tabu", ...).
+type ConstituentResult = solver.ConstituentResult
 
 // SolveOptions configures a Solve call. The zero value runs the named
 // solver with its registered default configuration — note iterative

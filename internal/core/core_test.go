@@ -512,7 +512,7 @@ func TestRunSyncDiversityRecording(t *testing.T) {
 
 func TestBlockDiversityBounds(t *testing.T) {
 	in := testInstance(t, 27)
-	pop := newPopulation(in, 16, rngForTest(1), false, NoLock, func(s *schedule.Schedule) float64 { return s.Makespan() })
+	pop := newPopulation(in, 16, rngForTest(1), false, nil, NoLock, func(s *schedule.Schedule) float64 { return s.Makespan() })
 	_, d := pop.blockDiversity(0, 16, nil)
 	if d <= 0 || d >= 1 {
 		t.Fatalf("random population diversity %v", d)
@@ -599,5 +599,55 @@ func TestLockModeString(t *testing.T) {
 		if m.String() != want {
 			t.Fatalf("LockMode %d string %q, want %q", int(m), m.String(), want)
 		}
+	}
+}
+
+// TestSyncPartialGenerationRecorded pins the evaluation-budget
+// boundary at MaxEvals = popSize + k, k < popSize: the synchronous
+// model installs the k offspring bred before the budget tripped, and
+// that partial generation must be visible in Generations, Convergence
+// and Diversity — records that diverge from what the population holds
+// would poison every downstream convergence analysis.
+func TestSyncPartialGenerationRecorded(t *testing.T) {
+	in := testInstance(t, 5)
+	base := smallParams(1, 9)
+	base.RecordConvergence = true
+	base.RecordDiversity = true
+	popSize := int64(base.GridW * base.GridH)
+
+	for _, tc := range []struct {
+		name      string
+		extra     int64 // evaluations past the initial population
+		wantGens  int64
+		wantEvals int64
+	}{
+		{"exhausted-at-init", 0, 0, popSize},
+		{"partial-first-sweep", 10, 1, popSize + 10},
+		{"full-plus-partial", popSize + 5, 2, 2*popSize + 5},
+		{"exactly-one-sweep", popSize, 1, 2 * popSize},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base
+			p.MaxEvaluations = popSize + tc.extra
+			res, err := RunSync(in, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Evaluations != tc.wantEvals {
+				t.Fatalf("Evaluations = %d, want %d", res.Evaluations, tc.wantEvals)
+			}
+			if res.Generations != tc.wantGens {
+				t.Fatalf("Generations = %d, want %d", res.Generations, tc.wantGens)
+			}
+			if got := int64(len(res.Convergence)); got != tc.wantGens {
+				t.Fatalf("len(Convergence) = %d, want Generations %d", got, tc.wantGens)
+			}
+			if got := int64(len(res.Diversity)); got != tc.wantGens {
+				t.Fatalf("len(Diversity) = %d, want Generations %d", got, tc.wantGens)
+			}
+			if len(res.PerThread) != 1 || res.PerThread[0] != tc.wantGens {
+				t.Fatalf("PerThread = %v, want [%d]", res.PerThread, tc.wantGens)
+			}
+		})
 	}
 }

@@ -49,7 +49,7 @@ func RunContext(ctx context.Context, inst *etc.Instance, p Params) (*Result, err
 
 	root := rng.New(p.Seed)
 	initRNG := root.Split(0)
-	pop := newPopulation(inst, grid.Size(), initRNG, !p.DisableMinMinSeed, p.LockMode, p.fitness)
+	pop := newPopulation(inst, grid.Size(), initRNG, !p.DisableMinMinSeed, p.SeedSchedule, p.LockMode, p.fitness)
 
 	eng := solver.NewEngine(ctx, p.budget())
 	eng.AddEvals(int64(pop.size())) // initial_evaluation of Algorithm 2

@@ -97,6 +97,12 @@ type Params struct {
 	// DisableMinMinSeed turns off the Min-min individual in the initial
 	// population (Table 1 seeds exactly one).
 	DisableMinMinSeed bool
+	// SeedSchedule, when non-nil, injects (a clone of) this schedule as
+	// one extra individual of the initial population — the warm-start
+	// hook behind solver.Restarter, used by the racing portfolio to
+	// seed GA restarts from the shared incumbent. It must belong to the
+	// instance being solved; a mismatched schedule is ignored.
+	SeedSchedule *schedule.Schedule
 	// Stop conditions; at least one must be set. They compose: the run
 	// stops at whichever triggers first.
 	//

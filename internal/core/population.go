@@ -28,16 +28,24 @@ type population struct {
 
 // newPopulation initializes size individuals on inst: all random except,
 // unless disabled, cell 0 which receives the Min-min schedule (Table 1
-// seeds exactly one individual with Min-min). This covers both
-// setup_pop and initial_evaluation of Algorithm 2: fitness is computed
-// on creation with the engine's objective function.
-func newPopulation(inst *etc.Instance, size int, r *rng.Rand, seedMinMin bool, mode LockMode, eval func(*schedule.Schedule) float64) *population {
+// seeds exactly one individual with Min-min), and — when a warm-start
+// schedule is supplied (Params.SeedSchedule) — the last cell, which
+// receives a clone of it. This covers both setup_pop and
+// initial_evaluation of Algorithm 2: fitness is computed on creation
+// with the engine's objective function.
+func newPopulation(inst *etc.Instance, size int, r *rng.Rand, seedMinMin bool, warm *schedule.Schedule, mode LockMode, eval func(*schedule.Schedule) float64) *population {
+	if warm != nil && warm.Inst != inst {
+		warm = nil // foreign schedule: ignore rather than corrupt the population
+	}
 	p := &population{cells: make([]individual, size), mode: mode}
 	for i := range p.cells {
 		var s *schedule.Schedule
-		if i == 0 && seedMinMin {
+		switch {
+		case i == size-1 && warm != nil:
+			s = warm.Clone()
+		case i == 0 && seedMinMin:
 			s = heuristics.MinMin(inst)
-		} else {
+		default:
 			s = schedule.NewRandom(inst, r)
 		}
 		p.cells[i].s = s

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"gridsched/internal/etc"
+	"gridsched/internal/schedule"
 	"gridsched/internal/solver"
 )
 
@@ -26,6 +27,23 @@ func (s PACGA) Describe() string {
 func (s PACGA) WithSeed(seed uint64) solver.Solver {
 	s.Params.Seed = seed
 	return s
+}
+
+// WithStart implements solver.Restarter: the returned copy injects the
+// schedule as one individual of its initial population (the warm-start
+// counterpart of the Min-min seed), so portfolio restarts resume from
+// the shared incumbent instead of rediscovering it.
+func (s PACGA) WithStart(start *schedule.Schedule) solver.Solver {
+	s.Params.SeedSchedule = start
+	return s
+}
+
+// InitEvals implements solver.Initializer: every run evaluates the
+// full initial population before breeding (Algorithm 2's
+// initial_evaluation).
+func (s PACGA) InitEvals(*etc.Instance) int64 {
+	p := s.Params.withDefaults()
+	return int64(p.GridW) * int64(p.GridH)
 }
 
 // Reproducible implements solver.Reproducible: the asynchronous engine
@@ -56,6 +74,18 @@ func (s SyncCGA) Describe() string {
 func (s SyncCGA) WithSeed(seed uint64) solver.Solver {
 	s.Params.Seed = seed
 	return s
+}
+
+// WithStart implements solver.Restarter (see PACGA.WithStart).
+func (s SyncCGA) WithStart(start *schedule.Schedule) solver.Solver {
+	s.Params.SeedSchedule = start
+	return s
+}
+
+// InitEvals implements solver.Initializer (see PACGA.InitEvals).
+func (s SyncCGA) InitEvals(*etc.Instance) int64 {
+	p := s.Params.withDefaults()
+	return int64(p.GridW) * int64(p.GridH)
 }
 
 // Reproducible implements solver.Reproducible: the synchronous variant

@@ -37,7 +37,7 @@ func RunSyncContext(ctx context.Context, inst *etc.Instance, p Params) (*Result,
 
 	root := rng.New(p.Seed)
 	initRNG := root.Split(0)
-	pop := newPopulation(inst, grid.Size(), initRNG, !p.DisableMinMinSeed, NoLock, p.fitness)
+	pop := newPopulation(inst, grid.Size(), initRNG, !p.DisableMinMinSeed, p.SeedSchedule, NoLock, p.fitness)
 	r := root.Split(1)
 
 	// Auxiliary generation buffer: offspring and their fitness.
@@ -60,6 +60,33 @@ func RunSyncContext(ctx context.Context, inst *etc.Instance, p Params) (*Result,
 	var divCount []int
 	var scratch schedule.Scratch
 
+	// install replaces the first n cells with their accepted offspring;
+	// record counts the installed (possibly partial) generation and
+	// samples the post-replacement population, so Generations,
+	// Convergence and Diversity always describe what the population
+	// actually holds — a partially-swept generation whose offspring were
+	// installed but never counted would leave the records diverging
+	// from the population.
+	install := func(n int) {
+		for c := 0; c < n; c++ {
+			if accepted[c] {
+				pop.cells[c].s.CopyFrom(aux[c])
+				pop.cells[c].fit = auxFit[c]
+			}
+		}
+	}
+	record := func() {
+		gens++
+		if p.RecordConvergence {
+			conv = append(conv, pop.meanFitnessRange(0, pop.size()))
+		}
+		if p.RecordDiversity {
+			var d float64
+			divCount, d = pop.blockDiversity(0, pop.size(), divCount)
+			div = append(div, d)
+		}
+	}
+
 loop:
 	for {
 		if eng.StopSweep(gens) {
@@ -69,12 +96,11 @@ loop:
 			if eng.EvalsExhausted() {
 				// Install the offspring bred so far in this generation,
 				// then stop: a partially-swept synchronous generation
-				// must not leave stale aux entries behind.
-				for c := 0; c < cell; c++ {
-					if accepted[c] {
-						pop.cells[c].s.CopyFrom(aux[c])
-						pop.cells[c].fit = auxFit[c]
-					}
+				// must not leave stale aux entries behind — and, once
+				// installed, must be visible in the run records too.
+				if cell > 0 {
+					install(cell)
+					record()
 				}
 				break loop
 			}
@@ -106,21 +132,8 @@ loop:
 			accepted[cell] = p.Replacement.Accepts(pop.cells[cell].fit, auxFit[cell])
 		}
 		// Synchronous replacement: the whole generation installs at once.
-		for cell := 0; cell < grid.Size(); cell++ {
-			if accepted[cell] {
-				pop.cells[cell].s.CopyFrom(aux[cell])
-				pop.cells[cell].fit = auxFit[cell]
-			}
-		}
-		gens++
-		if p.RecordConvergence {
-			conv = append(conv, pop.meanFitnessRange(0, pop.size()))
-		}
-		if p.RecordDiversity {
-			var d float64
-			divCount, d = pop.blockDiversity(0, pop.size(), divCount)
-			div = append(div, d)
-		}
+		install(grid.Size())
+		record()
 	}
 
 	res := &Result{

@@ -1,0 +1,69 @@
+package portfolio
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"gridsched/internal/schedule"
+)
+
+// incumbent is the race's shared best-so-far. It is lock-cheap in the
+// common case: Fitness is one atomic load, and Offer rejects a
+// non-improving candidate on that load alone without touching the
+// mutex. Only an actual improvement takes the lock to install the
+// schedule, so constituents publishing at round granularity never
+// serialize on each other's losing offers.
+//
+// Invariant: bits (the atomic fitness) is only stored while holding mu
+// and always matches the schedule held in best, so a reader that wins
+// the atomic pre-check and then takes the lock re-checks against a
+// value that can only have improved in between.
+type incumbent struct {
+	bits atomic.Uint64 // math.Float64bits of the best fitness; +Inf while empty
+	mu   sync.Mutex
+	best *schedule.Schedule
+}
+
+func newIncumbent() *incumbent {
+	in := &incumbent{}
+	in.bits.Store(math.Float64bits(math.Inf(1)))
+	return in
+}
+
+// Fitness returns the incumbent fitness (+Inf while empty) — one
+// atomic load, safe on any hot path.
+func (in *incumbent) Fitness() float64 {
+	return math.Float64frombits(in.bits.Load())
+}
+
+// Offer publishes a candidate: it installs a clone of s if fit improves
+// on the incumbent and reports whether it did. s is never retained.
+func (in *incumbent) Offer(s *schedule.Schedule, fit float64) bool {
+	if s == nil || math.IsNaN(fit) || fit >= in.Fitness() {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if fit >= math.Float64frombits(in.bits.Load()) {
+		return false // lost the install race to a better offer
+	}
+	if in.best == nil {
+		in.best = s.Clone()
+	} else {
+		in.best.CopyFrom(s)
+	}
+	in.bits.Store(math.Float64bits(fit))
+	return true
+}
+
+// Snapshot returns a private clone of the incumbent schedule and its
+// fitness, or ok=false while the incumbent is empty.
+func (in *incumbent) Snapshot() (*schedule.Schedule, float64, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.best == nil {
+		return nil, 0, false
+	}
+	return in.best.Clone(), math.Float64frombits(in.bits.Load()), true
+}

@@ -1,0 +1,104 @@
+package portfolio
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"gridsched/internal/rng"
+	"gridsched/internal/schedule"
+	"gridsched/internal/testkit"
+)
+
+// TestIncumbentConcurrentPublication hammers Offer from many
+// goroutines under -race: the final incumbent must be the global best
+// offer, its stored fitness must match the installed schedule, and no
+// losing offer may tear the (atomic fitness, locked schedule) pair.
+func TestIncumbentConcurrentPublication(t *testing.T) {
+	inst := testkit.Instance(t)
+	inc := newIncumbent()
+
+	if _, _, ok := inc.Snapshot(); ok {
+		t.Fatal("empty incumbent produced a snapshot")
+	}
+	if !math.IsInf(inc.Fitness(), 1) {
+		t.Fatalf("empty incumbent fitness = %v, want +Inf", inc.Fitness())
+	}
+
+	const publishers = 8
+	const offersEach = 200
+	var wg sync.WaitGroup
+	bestByPub := make([]float64, publishers)
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			r := rng.New(uint64(p + 1))
+			s := schedule.NewRandom(inst, r)
+			best := math.Inf(1)
+			for i := 0; i < offersEach; i++ {
+				s.Move(r.Intn(inst.T), r.Intn(inst.M))
+				fit := s.Makespan()
+				if fit < best {
+					best = fit
+				}
+				inc.Offer(s, fit)
+				// Cheap-path read must always be a fitness some offer
+				// actually had (or +Inf): spot-check monotonicity.
+				if got := inc.Fitness(); got > fit {
+					t.Errorf("incumbent fitness %v worse than a just-published %v", got, fit)
+					return
+				}
+			}
+			bestByPub[p] = best
+		}(p)
+	}
+	wg.Wait()
+
+	globalBest := math.Inf(1)
+	for _, b := range bestByPub {
+		if b < globalBest {
+			globalBest = b
+		}
+	}
+	snap, fit, ok := inc.Snapshot()
+	if !ok {
+		t.Fatal("no incumbent after publications")
+	}
+	if fit != globalBest {
+		t.Fatalf("incumbent fitness %v, want global best %v", fit, globalBest)
+	}
+	if got := snap.Makespan(); got != fit {
+		t.Fatalf("installed schedule makespan %v does not match stored fitness %v", got, fit)
+	}
+	// The snapshot is private: mutating it must not touch the incumbent.
+	snap.Move(0, 0)
+	if _, fit2, _ := inc.Snapshot(); fit2 != fit {
+		t.Fatal("snapshot aliases the incumbent schedule")
+	}
+}
+
+// TestIncumbentRejects pins the cheap-reject path: equal or worse
+// offers and NaN are refused without installing.
+func TestIncumbentRejects(t *testing.T) {
+	inst := testkit.Instance(t)
+	inc := newIncumbent()
+	s := schedule.NewRandom(inst, rng.New(1))
+	if !inc.Offer(s, 100) {
+		t.Fatal("first offer rejected")
+	}
+	for _, fit := range []float64{100, 101, math.Inf(1), math.NaN()} {
+		if inc.Offer(s, fit) {
+			t.Fatalf("non-improving offer %v accepted", fit)
+		}
+	}
+	if inc.Offer(nil, 1) {
+		t.Fatal("nil schedule accepted")
+	}
+	if !inc.Offer(s, 99) {
+		t.Fatal("improving offer rejected")
+	}
+	if inc.Fitness() != 99 {
+		t.Fatalf("fitness = %v, want 99", inc.Fitness())
+	}
+}

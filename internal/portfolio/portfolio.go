@@ -1,0 +1,718 @@
+// Package portfolio implements the racing portfolio meta-solver: the
+// first solver in the registry that composes other solvers. It splits
+// a job's budget across N constituent solvers resolved from the
+// registry, runs them on parallel goroutines — each charged against
+// the parent budget engine through a per-constituent child engine
+// (solver.Engine.Child) — and shares a lock-cheap incumbent (atomic
+// best fitness, mutex-guarded best schedule) that constituents publish
+// improvements to at round boundaries and, when they implement
+// solver.Restarter, seed their restarts from.
+//
+// An adaptive allocator watches the race: constituents that stop
+// improving the incumbent for a stall window donate evaluation budget
+// (solver.Engine.Transfer) to the most recently improving one, and a
+// constituent that finishes early (a one-pass heuristic, a failure)
+// donates its remainder immediately. The race ends when every
+// constituent has converged or the parent budget/deadline trips, and
+// the result reports a per-constituent breakdown
+// (solver.Result.Constituents) whose evaluations sum to the parent
+// engine's counter — bounded by the submitted budget. Evaluation
+// budgets should comfortably exceed the constituents' aggregate
+// initialization cost (solver.Initializer — ~256 per cellular GA at
+// Table 1 defaults): a share smaller than a constituent's
+// unconditional initial evaluation can overshoot by the difference,
+// and a conceded remainder below a restart floor is left unspent
+// rather than burned on initialization.
+//
+// The meta-solver registers the default preset under "portfolio"
+// (pa-cga + tabu + h2ll) and a registry scheme for ad-hoc
+// compositions: "portfolio:pa-cga+tabu", "portfolio:ga+tabu+h2ll"
+// ("ga" aliases "pa-cga"), any "+"-joined list of registered solver
+// names. Nesting is rejected — a portfolio cannot race portfolios.
+//
+// The race is honestly timing-dependent (goroutine interleaving
+// decides which constituent publishes first and where budget flows),
+// so the portfolio does not declare solver.Reproducible.
+package portfolio
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridsched/internal/etc"
+	"gridsched/internal/solver"
+
+	// The portfolio resolves constituents by registry name; force-link
+	// the families its default preset names so a bare import of this
+	// package yields a working "portfolio" solver.
+	_ "gridsched/internal/core"
+	_ "gridsched/internal/tabu"
+)
+
+// prefix is the registry scheme, as in "portfolio:pa-cga+tabu".
+const prefix = "portfolio"
+
+// aliases maps convenience tokens accepted in portfolio specs to
+// canonical registry names.
+var aliases = map[string]string{
+	"ga":  "pa-cga",
+	"cga": "pa-cga",
+}
+
+// DefaultConstituents is the preset registered under the plain
+// "portfolio" name: the paper's algorithm raced against the two
+// trajectory methods, covering the population/memory/descent
+// families.
+var DefaultConstituents = []string{"pa-cga", "tabu", "h2ll"}
+
+// Solver is the racing portfolio meta-solver. The zero value is not
+// usable — construct with New (or resolve "portfolio[:spec]" through
+// the registry). Tuning fields may be set on a copy; a registered
+// Solver is immutable configuration like every other solver.
+type Solver struct {
+	name         string   // registry name this instance answers to (the spec, verbatim)
+	constituents []string // canonical registry names, raced in parallel
+
+	// Seed is the base seed; each constituent round derives its own
+	// stream from (Seed, lane, round) so restarts explore new basins.
+	Seed uint64
+	// RoundsTarget is how many restart rounds the race aims to give
+	// each constituent under an evaluation budget, and the divisor of
+	// a wall budget's round window (default 4). More rounds mean more
+	// incumbent sharing; fewer mean less restart overhead.
+	RoundsTarget int
+	// MinRestartEvals, when set, overrides the per-constituent restart
+	// floor: the smallest evaluation allocation worth starting a
+	// restart round on. The default is twice the constituent's declared
+	// initialization cost (solver.Initializer, floored at 64), so a
+	// restart never burns the tail of the budget on population
+	// initialization alone.
+	MinRestartEvals int64
+	// Window is the allocator's reallocation tick (default 20ms).
+	Window time.Duration
+	// StallWindows is how many allocator windows without an incumbent
+	// improvement mark a constituent stalled (default 2).
+	StallWindows int
+}
+
+// New builds a portfolio solver answering to name that races the given
+// constituent solvers (registry names or aliases like "ga"). The
+// constituents are resolved lazily at Solve, but nesting is rejected
+// here: a portfolio constituent may not itself be a portfolio.
+func New(name string, constituents ...string) (Solver, error) {
+	if len(constituents) == 0 {
+		return Solver{}, fmt.Errorf("portfolio: empty constituent list")
+	}
+	canon := make([]string, 0, len(constituents))
+	for _, tok := range constituents {
+		tok = strings.TrimSpace(tok)
+		if a, ok := aliases[tok]; ok {
+			tok = a
+		}
+		if tok == "" {
+			return Solver{}, fmt.Errorf("portfolio: empty constituent name in %q", name)
+		}
+		if isPortfolioName(tok) {
+			return Solver{}, fmt.Errorf("portfolio: constituent %q would nest a portfolio inside %q", tok, name)
+		}
+		canon = append(canon, tok)
+	}
+	return Solver{name: name, constituents: canon}, nil
+}
+
+// Parse is the registry scheme resolver for "portfolio:a+b+c" names:
+// it validates the spec and that every constituent resolves, so a bad
+// name fails at Lookup (the service's fail-fast Submit contract)
+// rather than inside a running job.
+func Parse(name string) (solver.Solver, error) {
+	spec, ok := strings.CutPrefix(name, prefix+":")
+	if !ok || spec == "" {
+		return nil, fmt.Errorf("portfolio: bad spec %q (want %s:name+name+...)", name, prefix)
+	}
+	s, err := New(name, strings.Split(spec, "+")...)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range s.constituents {
+		if _, err := resolveConstituent(c); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func isPortfolioName(name string) bool {
+	return name == prefix || strings.HasPrefix(name, prefix+":")
+}
+
+// IsPortfolioName reports whether a registry name denotes the racing
+// portfolio meta-solver — the concrete registration or a scheme spec.
+// Report layers (the scenario sweep) use it to classify solvers
+// without hardcoding the prefix a second time.
+func IsPortfolioName(name string) bool { return isPortfolioName(name) }
+
+// resolveConstituent looks a constituent up and enforces the no-nesting
+// guard against both the requested name and whatever it resolved to.
+func resolveConstituent(name string) (solver.Solver, error) {
+	if isPortfolioName(name) {
+		return nil, fmt.Errorf("portfolio: constituent %q would nest portfolios", name)
+	}
+	sv, err := solver.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if _, nested := sv.(Solver); nested || isPortfolioName(sv.Name()) {
+		return nil, fmt.Errorf("portfolio: constituent %q resolves to a portfolio", name)
+	}
+	return sv, nil
+}
+
+// Name implements solver.Solver.
+func (s Solver) Name() string { return s.name }
+
+// Describe implements solver.Solver.
+func (s Solver) Describe() string {
+	return fmt.Sprintf("racing portfolio of %s: parallel race, shared incumbent, adaptive budget reallocation",
+		strings.Join(s.constituents, "+"))
+}
+
+// Constituents returns the canonical registry names the portfolio
+// races.
+func (s Solver) Constituents() []string {
+	return append([]string(nil), s.constituents...)
+}
+
+// WithSeed implements solver.Seeder.
+func (s Solver) WithSeed(seed uint64) solver.Solver {
+	s.Seed = seed
+	return s
+}
+
+// Reproducible implements solver.Reproducible: honestly false — the
+// race outcome depends on goroutine interleaving (which constituent
+// publishes first, where the allocator moves budget), even under a
+// deterministic evaluation budget.
+func (s Solver) Reproducible() bool { return false }
+
+func (s Solver) roundsTarget() int {
+	if s.RoundsTarget <= 0 {
+		return 4
+	}
+	return s.RoundsTarget
+}
+
+func (s Solver) restartFloorFor(init int64) int64 {
+	if s.MinRestartEvals > 0 {
+		return s.MinRestartEvals
+	}
+	if floor := 2 * init; floor > 64 {
+		return floor
+	}
+	return 64
+}
+
+func (s Solver) window() time.Duration {
+	if s.Window <= 0 {
+		return 20 * time.Millisecond
+	}
+	return s.Window
+}
+
+func (s Solver) stallWindows() int {
+	if s.StallWindows <= 0 {
+		return 2
+	}
+	return s.StallWindows
+}
+
+func (s Solver) baseSeed() uint64 {
+	if s.Seed == 0 {
+		return 1
+	}
+	return s.Seed
+}
+
+// lane is one constituent's slot in the race.
+type lane struct {
+	name string
+	sv   solver.Solver
+	eng  *solver.Engine
+	// share is the lane's initial evaluation allocation (before
+	// transfers); slice and restartFloor are derived from it and the
+	// constituent's declared initialization cost: a population GA gets
+	// few long rounds (each amortizing its initial evaluation), a
+	// trajectory method gets many short ones (frequent publication and
+	// early stall detection). window is the wall-budget counterpart.
+	share, slice, restartFloor int64
+	window                     time.Duration
+
+	// lastImprove is nanoseconds since race start of the lane's last
+	// accepted incumbent publication; progressing is whether the lane's
+	// last completed round improved the incumbent (true until a round
+	// completes — benefit of the doubt); parked marks a lane waiting in
+	// awaitDonation (out of budget, not out of the race); finished
+	// flips when the lane's loop exits. All are read by other
+	// goroutines while the lane runs.
+	lastImprove atomic.Int64
+	progressing atomic.Bool
+	parked      atomic.Bool
+	finished    atomic.Bool
+
+	// Written by the lane goroutine only; read after the race joins.
+	rounds, gens, lsMoves, improvements int64
+	busy                                time.Duration
+	bestFit                             float64
+	err                                 error
+}
+
+// Solve implements solver.Solver: resolve the constituents, carve the
+// parent budget into per-constituent child engines, race the lanes,
+// and return the shared incumbent with a per-constituent breakdown.
+func (s Solver) Solve(ctx context.Context, inst *etc.Instance, b solver.Budget) (*solver.Result, error) {
+	if b.IsZero() {
+		return nil, fmt.Errorf("portfolio: no stop condition set")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	lanes := make([]*lane, 0, len(s.constituents))
+	for _, name := range s.constituents {
+		sv, err := resolveConstituent(name)
+		if err != nil {
+			return nil, err
+		}
+		lanes = append(lanes, &lane{name: name, sv: sv, bestFit: math.Inf(1)})
+	}
+
+	parent := solver.NewEngine(ctx, b)
+	effTotal := parent.EffectiveBudget()
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	inc := newIncumbent()
+	raceStart := time.Now()
+
+	frac := 1.0 / float64(len(lanes))
+	for _, l := range lanes {
+		l.eng = parent.Child(frac)
+		l.share = l.eng.Budget().MaxEvaluations
+		init := solver.InitEvals(l.sv, inst)
+		l.restartFloor = s.restartFloorFor(init)
+		// Slice rounds so initialization stays a small fraction of each
+		// round; a GA whose init exceeds share/RoundsTarget simply runs
+		// one long round and restarts only on donated budget.
+		l.slice = l.share / int64(s.roundsTarget())
+		if min := 8 * init; l.slice < min {
+			l.slice = min
+		}
+		if l.slice < 64 {
+			l.slice = 64
+		}
+		// The wall-budget analog: a population solver runs one
+		// uninterrupted window to the deadline (restarting a GA buys
+		// nothing a longer evolution wouldn't), while trajectory
+		// solvers take short probe windows — a fixed small fraction of
+		// the wall, floored at scheduling granularity — so a stalled
+		// probe concedes the cores to the progressing lane early
+		// instead of squatting on a proportional share of the race.
+		if wall := effTotal.MaxDuration; wall > 0 && init <= 1 {
+			l.window = wall / 16
+			if floor := 20 * time.Millisecond; l.window < floor {
+				l.window = floor
+			}
+		}
+		l.progressing.Store(true)
+	}
+
+	var wg sync.WaitGroup
+	for i, l := range lanes {
+		wg.Add(1)
+		go func(i int, l *lane) {
+			defer wg.Done()
+			s.runLane(raceCtx, raceStart, inst, effTotal, inc, lanes, l, i)
+		}(i, l)
+	}
+
+	allocStop := make(chan struct{})
+	var allocWG sync.WaitGroup
+	allocWG.Add(1)
+	go func() {
+		defer allocWG.Done()
+		s.allocate(lanes, raceStart, allocStop)
+	}()
+
+	wg.Wait() // every lane converged, exhausted its budget, or was cancelled
+	close(allocStop)
+	allocWG.Wait()
+	cancel()
+
+	res := &solver.Result{
+		Evaluations:     parent.Evals(),
+		Duration:        parent.Elapsed(),
+		EffectiveBudget: parent.EffectiveBudget(),
+		PerThread:       make([]int64, len(lanes)),
+		Constituents:    make([]solver.ConstituentResult, len(lanes)),
+	}
+	var firstErr error
+	for i, l := range lanes {
+		res.PerThread[i] = l.gens
+		res.Generations += l.gens
+		res.LocalSearchMoves += l.lsMoves
+		c := solver.ConstituentResult{
+			Solver:       l.name,
+			Evaluations:  l.eng.Evals(),
+			Generations:  l.gens,
+			Rounds:       l.rounds,
+			Improvements: l.improvements,
+			Busy:         l.busy,
+		}
+		if !math.IsInf(l.bestFit, 1) {
+			c.BestFitness = l.bestFit
+		}
+		if l.err != nil {
+			c.Err = l.err.Error()
+			if firstErr == nil {
+				firstErr = l.err
+			}
+		}
+		res.Constituents[i] = c
+	}
+
+	best, fit, found := inc.Snapshot()
+	if !found {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if firstErr != nil {
+			return nil, fmt.Errorf("portfolio: no constituent produced a schedule: %w", firstErr)
+		}
+		return nil, fmt.Errorf("portfolio: no constituent produced a schedule under budget %s", b)
+	}
+	res.Best, res.BestFitness = best, fit
+	return res, nil
+}
+
+// runLane drives one constituent through restart rounds until its
+// budget (or the race) ends, publishing each round's best to the
+// shared incumbent and warm-starting from it when the constituent
+// supports solver.Restarter. Under an evaluation budget the lane also
+// self-assesses at each round boundary: a round that failed to improve
+// on its own starting point marks the lane stalled, and a stalled lane
+// concedes — donating its remaining evaluations — as long as some
+// sibling is still making progress (the last progressing lane never
+// concedes, so budget always has a consumer).
+func (s Solver) runLane(raceCtx context.Context, raceStart time.Time, inst *etc.Instance, effTotal solver.Budget, inc *incumbent, lanes []*lane, l *lane, laneIdx int) {
+	for round := 0; ; round++ {
+		if raceCtx.Err() != nil || l.eng.Expired() {
+			break
+		}
+		rb, ok := s.roundBudget(effTotal, l, round)
+		if !ok {
+			// Park only when the stop reason is evaluation starvation —
+			// a lane halted by its generation bound or the deadline has
+			// nothing a donation could fix.
+			if rem := l.eng.RemainingEvals(); rem >= 0 && rem < l.restartFloor && s.awaitDonation(raceCtx, lanes, l) {
+				continue // a sibling's donation re-funded the lane
+			}
+			break
+		}
+		sv := l.sv
+		if _, ok := sv.(solver.Seeder); ok {
+			sv = solver.WithSeed(sv, laneSeed(s.baseSeed(), laneIdx, round))
+		}
+		if round > 0 {
+			if rs, ok := sv.(solver.Restarter); ok {
+				if snap, _, found := inc.Snapshot(); found {
+					sv = rs.WithStart(snap)
+				}
+			}
+		}
+		t0 := time.Now()
+		res, err := sv.Solve(solver.WithEngine(raceCtx, l.eng), inst, rb)
+		l.busy += time.Since(t0)
+		l.rounds++
+		if err != nil {
+			if raceCtx.Err() != nil {
+				break // cancellation surfacing as an error is not a lane failure
+			}
+			l.err = err
+			break
+		}
+		// A round counts as progress only if it improved the shared
+		// incumbent — the race's one currency. A lane whose round
+		// produced a result the incumbent already beats has, for the
+		// race's purposes, stalled.
+		improved := false
+		if res != nil {
+			l.gens += res.Generations
+			l.lsMoves += res.LocalSearchMoves
+			if res.Best != nil {
+				if res.BestFitness < l.bestFit {
+					l.bestFit = res.BestFitness
+				}
+				if inc.Offer(res.Best, res.BestFitness) {
+					improved = true
+					l.improvements++
+					l.lastImprove.Store(int64(time.Since(raceStart)))
+				}
+			}
+		}
+		l.progressing.Store(improved)
+		if singlePass(l.sv) {
+			break // a deterministic one-pass solver gains nothing from reruns
+		}
+		// Concede after a round with no self-progress while a sibling is
+		// still progressing: under an evaluation budget the remainder is
+		// donated below; under a wall budget stepping aside stops a
+		// stalled lane from squatting on cores the progressing lane
+		// (and its GA worker threads) could use. The last progressing
+		// lane never concedes, so the budget always has a consumer.
+		if !improved && siblingProgressing(lanes, l) {
+			break
+		}
+	}
+	l.finished.Store(true)
+	donateRemainder(l, lanes)
+}
+
+// awaitDonation parks a lane that ran out of evaluation budget while
+// some sibling still holds unspent budget: a conceding or finishing
+// sibling may donate at any moment (scheduling decides the order, not
+// the code), and exiting early would strand that donation. It returns
+// true once the lane's remaining allocation clears its restart floor,
+// false when no possible donor is left or the race is over. A sibling
+// that is itself parked is not a donor — it is waiting too, and
+// counting it would let two lanes holding sub-floor scraps spin on
+// each other forever; when a parked lane gives up, its exit donation
+// can still accumulate a sibling's scraps past the floor and revive
+// it.
+func (s Solver) awaitDonation(raceCtx context.Context, lanes []*lane, l *lane) bool {
+	if l.eng.Budget().MaxEvaluations <= 0 {
+		return false // only evaluation budgets are transferable
+	}
+	l.parked.Store(true)
+	defer l.parked.Store(false)
+	for {
+		if raceCtx.Err() != nil || l.eng.Expired() {
+			return false
+		}
+		if rem := l.eng.RemainingEvals(); rem >= l.restartFloor {
+			return true
+		}
+		donorAlive := false
+		for _, t := range lanes {
+			if t != l && !t.finished.Load() && !t.parked.Load() && t.eng.RemainingEvals() > 0 {
+				donorAlive = true
+				break
+			}
+		}
+		if !donorAlive {
+			return false
+		}
+		select {
+		case <-raceCtx.Done():
+			return false
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+}
+
+// siblingProgressing reports whether any other unfinished lane is
+// worth conceding to: one whose last completed round improved the
+// incumbent (lanes mid-first-round count as progressing — benefit of
+// the doubt, so probes concede to a GA still deep in its first long
+// round). One-pass heuristic lanes never qualify — they cannot absorb
+// a donation, so conceding to one strands budget.
+func siblingProgressing(lanes []*lane, l *lane) bool {
+	for _, t := range lanes {
+		if t != l && !t.finished.Load() && t.progressing.Load() && !singlePass(t.sv) {
+			return true
+		}
+	}
+	return false
+}
+
+// roundBudget slices the lane's next restart round out of its
+// remaining allocation. ok=false means the lane has no useful work
+// left: evaluations exhausted (or below the restart floor), the
+// deadline passed, or a generation-only budget already ran its one
+// round.
+func (s Solver) roundBudget(effTotal solver.Budget, l *lane, round int) (solver.Budget, bool) {
+	var rb solver.Budget
+	if effTotal.MaxGenerations > 0 {
+		// The generation bound depletes across rounds: handing every
+		// restart the full allowance would multiply the submitted
+		// bound by the round count. l.gens sums worker generations, so
+		// this treats the bound as a per-lane total — conservative for
+		// multi-worker constituents, never over.
+		rb.MaxGenerations = effTotal.MaxGenerations - l.gens
+		if rb.MaxGenerations <= 0 {
+			return rb, false
+		}
+	}
+	evalBounded := effTotal.MaxEvaluations > 0
+	remDur := l.eng.RemainingDuration()
+	if evalBounded {
+		rem := l.eng.RemainingEvals()
+		if rem <= 0 {
+			return rb, false
+		}
+		if round > 0 && rem < l.restartFloor {
+			return rb, false
+		}
+		slice := l.slice
+		// When the round would absorb the lane's whole remaining
+		// allocation anyway (a GA's one long round, or a short tail not
+		// worth stranding), bound it formally by the parent total and
+		// let the lane engine bind through the chain: evaluations
+		// donated by conceding siblings then extend the running round
+		// live, instead of paying another initialization next round.
+		if rem < slice+l.restartFloor {
+			slice = effTotal.MaxEvaluations
+		}
+		rb.MaxEvaluations = slice
+	}
+	if remDur >= 0 {
+		if remDur == 0 {
+			return rb, false
+		}
+		win := l.window
+		if win <= 0 || win > remDur {
+			win = remDur
+		}
+		rb.MaxDuration = win
+	}
+	if !evalBounded && remDur < 0 && round > 0 {
+		return rb, false // generation-only budget: one full round per lane
+	}
+	return rb, true
+}
+
+// singlePass reports whether rerunning the solver can produce anything
+// new: a reproducible solver with no seed and no warm-start hook (a
+// constructive heuristic) repeats itself exactly.
+func singlePass(sv solver.Solver) bool {
+	if _, ok := sv.(solver.Seeder); ok {
+		return false
+	}
+	if _, ok := sv.(solver.Restarter); ok {
+		return false
+	}
+	return solver.IsReproducible(sv)
+}
+
+// donateRemainder hands a finished lane's unspent evaluations to the
+// lanes still racing, so a one-pass heuristic (or a failed
+// constituent) doesn't strand a third of the budget.
+func donateRemainder(l *lane, lanes []*lane) {
+	rem := l.eng.RemainingEvals()
+	if rem <= 0 {
+		return
+	}
+	var targets []*lane
+	for _, t := range lanes {
+		if t != l && !t.finished.Load() {
+			targets = append(targets, t)
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	share := rem / int64(len(targets))
+	if share <= 0 {
+		share = rem
+	}
+	for _, t := range targets {
+		l.eng.Transfer(t.eng, share)
+	}
+}
+
+// allocate is the adaptive allocator: every window it finds the most
+// recently improving lane and moves evaluation budget to it — all of a
+// finished lane's remainder, half of a stalled lane's (no incumbent
+// improvement for StallWindows windows). With no improving lane (or a
+// wall-only budget, which has no evaluations to move) it does nothing.
+func (s Solver) allocate(lanes []*lane, raceStart time.Time, stop <-chan struct{}) {
+	window := s.window()
+	horizon := int64(window) * int64(s.stallWindows())
+	tick := time.NewTicker(window)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		now := int64(time.Since(raceStart))
+		var rec *lane
+		for _, l := range lanes {
+			if l.finished.Load() {
+				continue
+			}
+			if li := l.lastImprove.Load(); li > 0 && now-li <= horizon {
+				if rec == nil || li > rec.lastImprove.Load() {
+					rec = l
+				}
+			}
+		}
+		if rec == nil {
+			continue
+		}
+		for _, l := range lanes {
+			if l == rec {
+				continue
+			}
+			finished := l.finished.Load()
+			// A lane still progressing — including one deep in its
+			// first round, which has had no chance to publish yet —
+			// keeps its budget; only a lane whose last completed round
+			// failed to improve the incumbent is reclaimable.
+			stalled := !finished && !l.progressing.Load() && now-l.lastImprove.Load() > horizon
+			if !finished && !stalled {
+				continue
+			}
+			n := l.eng.RemainingEvals()
+			if !finished {
+				n /= 2
+			}
+			if n > 0 {
+				l.eng.Transfer(rec.eng, n)
+			}
+		}
+	}
+}
+
+// laneSeed derives a constituent round's seed from the base seed, the
+// lane index and the round: a splitmix64-style finalizer so restarts
+// explore different basins deterministically per (seed, lane, round).
+// The first lane's first round keeps the base seed verbatim, so a
+// seeded portfolio's flagship constituent reproduces the trajectory
+// the same seed gives it outside the race.
+func laneSeed(base uint64, laneIdx, round int) uint64 {
+	if laneIdx == 0 && round == 0 {
+		return base
+	}
+	z := base + 0x9E3779B97F4A7C15*uint64(laneIdx+1) + 0xBF58476D1CE4E5B9*uint64(round+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+func init() {
+	def, err := New(prefix, DefaultConstituents...)
+	if err != nil {
+		panic(err)
+	}
+	solver.Register(def)
+	solver.RegisterScheme(prefix, Parse)
+}

@@ -1,0 +1,210 @@
+package portfolio_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"gridsched/internal/portfolio"
+	"gridsched/internal/solver"
+	"gridsched/internal/testkit"
+)
+
+// TestPresetConformance runs the full conformance kit — with zero
+// special-casing — against a scheme-resolved preset, exactly as it
+// runs against every concretely registered name (the registered
+// "portfolio" is covered by the testkit package's all-solver run).
+func TestPresetConformance(t *testing.T) {
+	testkit.Conformance(t, "portfolio:ga+tabu+h2ll")
+}
+
+func TestSchemeParsing(t *testing.T) {
+	// Aliases canonicalize.
+	s, err := solver.Lookup("portfolio:ga+tabu")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	got := s.(portfolio.Solver).Constituents()
+	if len(got) != 2 || got[0] != "pa-cga" || got[1] != "tabu" {
+		t.Fatalf("constituents = %v, want [pa-cga tabu]", got)
+	}
+	// The resolved solver echoes the requested name (registry contract).
+	if s.Name() != "portfolio:ga+tabu" {
+		t.Fatalf("Name() = %q", s.Name())
+	}
+
+	for _, bad := range []string{
+		"portfolio:",                  // empty spec
+		"portfolio:nope",              // unknown constituent
+		"portfolio:tabu++h2ll",        // empty token
+		"portfolio:portfolio",         // direct nesting
+		"portfolio:tabu+portfolio:ga", // nested spec
+	} {
+		if _, err := solver.Lookup(bad); err == nil {
+			t.Errorf("Lookup(%q) resolved, want error", bad)
+		}
+	}
+}
+
+func TestNewRejectsNesting(t *testing.T) {
+	if _, err := portfolio.New("p", "portfolio"); err == nil {
+		t.Fatal("nested portfolio accepted")
+	}
+	if _, err := portfolio.New("p"); err == nil {
+		t.Fatal("empty constituent list accepted")
+	}
+}
+
+// TestBudgetAccounting pins the tentpole's accounting contract: the
+// per-constituent evaluations sum exactly to the parent counter, which
+// stays within the submitted budget plus the conformance kit's
+// child-engine slack.
+func TestBudgetAccounting(t *testing.T) {
+	inst := testkit.Instance(t)
+	s, err := solver.Lookup("portfolio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 3000
+	res, err := s.Solve(context.Background(), inst, solver.Budget{MaxEvaluations: budget})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if len(res.Constituents) != 3 {
+		t.Fatalf("Constituents = %d entries, want 3", len(res.Constituents))
+	}
+	var sum, gens int64
+	for _, c := range res.Constituents {
+		if c.Evaluations < 0 || c.Rounds < 1 {
+			t.Fatalf("constituent %s: evals=%d rounds=%d", c.Solver, c.Evaluations, c.Rounds)
+		}
+		if c.Err != "" {
+			t.Fatalf("constituent %s failed: %s", c.Solver, c.Err)
+		}
+		sum += c.Evaluations
+		gens += c.Generations
+	}
+	if sum != res.Evaluations {
+		t.Fatalf("constituent evaluations sum to %d, Result.Evaluations = %d", sum, res.Evaluations)
+	}
+	if res.Evaluations > budget+testkit.EvalSlack {
+		t.Fatalf("Evaluations = %d exceeds budget %d beyond the child-engine slack", res.Evaluations, budget)
+	}
+	if gens != res.Generations {
+		t.Fatalf("constituent generations sum to %d, Result.Generations = %d", gens, res.Generations)
+	}
+	// Someone must have contributed the incumbent.
+	var improvements int64
+	for _, c := range res.Constituents {
+		improvements += c.Improvements
+	}
+	if improvements == 0 {
+		t.Fatal("no constituent ever improved the incumbent")
+	}
+	if res.Best == nil || res.BestFitness != res.Best.Makespan() {
+		t.Fatalf("incumbent fitness %v does not match schedule", res.BestFitness)
+	}
+}
+
+// TestFinishedLaneDonatesBudget races a one-pass heuristic against
+// tabu: the heuristic's unspent share must flow to tabu instead of
+// being stranded, so the trajectory method ends up with more than its
+// even split.
+func TestFinishedLaneDonatesBudget(t *testing.T) {
+	inst := testkit.Instance(t)
+	s, err := solver.Lookup("portfolio:minmin+tabu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 2000
+	res, err := s.Solve(context.Background(), inst, solver.Budget{MaxEvaluations: budget})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	var minmin, tabu solver.ConstituentResult
+	for _, c := range res.Constituents {
+		switch c.Solver {
+		case "minmin":
+			minmin = c
+		case "tabu":
+			tabu = c
+		}
+	}
+	if minmin.Rounds != 1 || minmin.Evaluations > 2 {
+		t.Fatalf("minmin lane: rounds=%d evals=%d, want a single cheap pass", minmin.Rounds, minmin.Evaluations)
+	}
+	if tabu.Evaluations <= budget/2 {
+		t.Fatalf("tabu evals = %d: the heuristic's donated share never arrived (even split is %d)",
+			tabu.Evaluations, budget/2)
+	}
+	if res.Evaluations > budget+testkit.EvalSlack {
+		t.Fatalf("Evaluations = %d exceeds budget %d", res.Evaluations, budget)
+	}
+}
+
+// TestPortfolioOfOne pins the degenerate composition used by the
+// overhead benchmark: one constituent gets the whole budget.
+func TestPortfolioOfOne(t *testing.T) {
+	inst := testkit.Instance(t)
+	s, err := solver.Lookup("portfolio:tabu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(context.Background(), inst, solver.Budget{MaxEvaluations: 1500})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if len(res.Constituents) != 1 || res.Constituents[0].Solver != "tabu" {
+		t.Fatalf("Constituents = %+v", res.Constituents)
+	}
+	if res.Constituents[0].Evaluations != res.Evaluations {
+		t.Fatalf("of-one accounting mismatch: %d vs %d", res.Constituents[0].Evaluations, res.Evaluations)
+	}
+	if res.Best == nil || !res.Best.Complete() {
+		t.Fatal("of-one race returned no complete schedule")
+	}
+}
+
+// TestDescribeAndSeeding covers the remaining registry surface.
+func TestDescribeAndSeeding(t *testing.T) {
+	s, err := solver.Lookup("portfolio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := s.Describe(); !strings.Contains(d, "pa-cga+tabu+h2ll") {
+		t.Fatalf("Describe() = %q does not name the constituents", d)
+	}
+	if solver.IsReproducible(s) {
+		t.Fatal("portfolio claims reproducibility despite a timing-dependent race")
+	}
+	seeded := solver.WithSeed(s, 99)
+	if seeded.(portfolio.Solver).Seed != 99 {
+		t.Fatal("WithSeed did not reconfigure")
+	}
+}
+
+// TestGenerationBudgetDepletesAcrossRounds pins the composite
+// generation bound: restart rounds receive the submitted allowance
+// minus what the lane already ran, so a portfolio job can never
+// multiply MaxGenerations by its round count.
+func TestGenerationBudgetDepletesAcrossRounds(t *testing.T) {
+	inst := testkit.Instance(t)
+	s, err := solver.Lookup("portfolio:tabu+h2ll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const gens = 10
+	res, err := s.Solve(context.Background(), inst, solver.Budget{
+		MaxGenerations: gens,
+		MaxEvaluations: 50000, // loose, so generations are the binding bound
+	})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	for _, c := range res.Constituents {
+		if c.Generations > gens {
+			t.Fatalf("constituent %s ran %d generations against a bound of %d",
+				c.Solver, c.Generations, gens)
+		}
+	}
+}

@@ -82,6 +82,11 @@ func (r *Report) Table() string {
 	}
 	tw.Flush()
 
+	for _, pc := range r.Portfolios {
+		fmt.Fprintf(&sb, "\nportfolio vs best single: %s %.3f vs %s %.3f (×%.3f)\n",
+			pc.Portfolio, pc.PortfolioMeanRatio, pc.BestSingle, pc.BestSingleMeanRatio, pc.Overhead)
+	}
+
 	if len(failures) > 0 {
 		sb.WriteString("\nincomplete cells:\n")
 		for _, f := range failures {

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"gridsched/internal/etc"
+	"gridsched/internal/portfolio"
 	"gridsched/internal/service"
 	"gridsched/internal/solver"
 )
@@ -103,11 +104,35 @@ type Report struct {
 	Cells []Cell
 	// Summaries is sorted best mean ratio first.
 	Summaries []Summary
-	Elapsed   time.Duration
+	// Portfolios relates each portfolio meta-solver in the sweep to the
+	// best single (non-portfolio) solver — the paper's comparative
+	// question turned on the portfolio itself. Empty when the sweep ran
+	// no portfolio solver or no single solver completed.
+	Portfolios []PortfolioComparison
+	Elapsed    time.Duration
 	// CacheHits/CacheMisses are the service instance-cache counters:
 	// a healthy sweep shows one miss per class and hits for the rest.
 	CacheHits, CacheMisses int64
 }
+
+// PortfolioComparison summarizes portfolio-vs-best-single quality: how
+// close (or better) the racing meta-solver's mean quality ratio comes
+// to the best individual solver's at the same per-job budget.
+type PortfolioComparison struct {
+	Portfolio  string
+	BestSingle string
+	// PortfolioMeanRatio and BestSingleMeanRatio are the two solvers'
+	// mean quality ratios; Overhead is their quotient (1.0 = the
+	// portfolio matches the best single solver, < 1 = it wins).
+	PortfolioMeanRatio  float64
+	BestSingleMeanRatio float64
+	Overhead            float64
+}
+
+// isPortfolioSolver reports whether a registry name denotes the racing
+// portfolio meta-solver; the predicate lives with the portfolio so the
+// prefix is defined once.
+func isPortfolioSolver(name string) bool { return portfolio.IsPortfolioName(name) }
 
 // submitRetryDelay paces producer retries while the service queue is
 // exerting backpressure.
@@ -313,6 +338,36 @@ func (r *Report) finalize() {
 			return a.Solver < b.Solver
 		}
 	})
+
+	// Portfolio-vs-best-single: the summaries are sorted best-first, so
+	// the first completed non-portfolio summary is the best single.
+	var bestSingle *Summary
+	for i := range r.Summaries {
+		s := &r.Summaries[i]
+		if s.Done > 0 && !isPortfolioSolver(s.Solver) {
+			bestSingle = s
+			break
+		}
+	}
+	r.Portfolios = r.Portfolios[:0]
+	if bestSingle == nil {
+		return
+	}
+	for _, s := range r.Summaries {
+		if s.Done == 0 || !isPortfolioSolver(s.Solver) {
+			continue
+		}
+		cmp := PortfolioComparison{
+			Portfolio:           s.Solver,
+			BestSingle:          bestSingle.Solver,
+			PortfolioMeanRatio:  s.MeanRatio,
+			BestSingleMeanRatio: bestSingle.MeanRatio,
+		}
+		if bestSingle.MeanRatio > 0 {
+			cmp.Overhead = s.MeanRatio / bestSingle.MeanRatio
+		}
+		r.Portfolios = append(r.Portfolios, cmp)
+	}
 }
 
 // ratioIsWin treats a cell as a class win when its makespan matches the

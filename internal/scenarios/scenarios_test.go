@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/csv"
+	"fmt"
 	"runtime"
 	"strings"
 	"testing"
@@ -235,4 +236,102 @@ func TestReportRendersFailures(t *testing.T) {
 	if rep.Summaries[0].Solver != "good" || rep.Summaries[1].Failed != 1 {
 		t.Fatalf("summaries misordered: %+v", rep.Summaries)
 	}
+}
+
+// TestSweepPortfolioQuality races the default portfolio against its
+// own constituents across the full 12-class Braun matrix at an equal
+// per-job wall budget: the meta-solver must land within 2% of the best
+// single constituent on every class (its lanes share the same wall
+// clock, so the shared incumbent, stall-concession and warm restarts
+// have to earn that closeness back against whichever constituent
+// dominates the class). One service worker keeps jobs sequential so
+// every cell — portfolio and single solver alike — owns the machine
+// for exactly its budget.
+func TestSweepPortfolioQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 12-class portfolio sweep; run without -short")
+	}
+	constituents := []string{"pa-cga", "tabu", "h2ll"}
+	// Long enough that the race's probe windows (20ms granularity) are
+	// a small fraction of every job; short enough that 4 solvers × 12
+	// classes stays under a minute.
+	const wall = 400 * time.Millisecond
+	cfg := Config{
+		Tasks:    128,
+		Machines: 8,
+		Solvers:  append(append([]string(nil), constituents...), "portfolio"),
+		Budget:   solver.Budget{MaxDuration: wall},
+		Seed:     7,
+		Workers:  1,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	// Wall-budget races are timing-dependent by declaration, so one
+	// sweep can land a class a hair past the bar on a noisy runner; a
+	// single retry damps scheduler noise without diluting the target.
+	var rep *Report
+	var failures []string
+	for attempt := 0; attempt < 2; attempt++ {
+		var err error
+		rep, err = Sweep(ctx, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		failures = portfolioQualityFailures(t, rep)
+		if len(failures) == 0 {
+			break
+		}
+		t.Logf("attempt %d: %v", attempt+1, failures)
+	}
+	for _, f := range failures {
+		t.Error(f)
+	}
+
+	// The report surfaces the comparison directly.
+	if len(rep.Portfolios) != 1 {
+		t.Fatalf("Portfolios = %+v, want one comparison", rep.Portfolios)
+	}
+	pc := rep.Portfolios[0]
+	if pc.Portfolio != "portfolio" || pc.BestSingle == "" || pc.Overhead <= 0 {
+		t.Fatalf("bad comparison %+v", pc)
+	}
+	if pc.Overhead > 1.02 {
+		t.Errorf("portfolio mean-quality overhead ×%.3f exceeds 1.02 vs %s", pc.Overhead, pc.BestSingle)
+	}
+	if !strings.Contains(rep.Table(), "portfolio vs best single") {
+		t.Fatal("table missing the portfolio comparison footer")
+	}
+}
+
+// portfolioQualityFailures checks every class of the report for the
+// portfolio ≤ 1.02× best-single criterion, returning the violations.
+func portfolioQualityFailures(t *testing.T, rep *Report) []string {
+	t.Helper()
+	var failures []string
+	for _, cl := range rep.Classes {
+		bestSingle := 0.0
+		var portfolioCell *Cell
+		for i := range rep.Cells {
+			c := &rep.Cells[i]
+			if c.Class != cl || c.State != service.StateDone {
+				continue
+			}
+			if c.Solver == "portfolio" {
+				portfolioCell = c
+				continue
+			}
+			if bestSingle == 0 || c.Makespan < bestSingle {
+				bestSingle = c.Makespan
+			}
+		}
+		if portfolioCell == nil || bestSingle == 0 {
+			t.Fatalf("class %s: missing portfolio or constituent results", cl.Name())
+		}
+		if portfolioCell.Makespan > 1.02*bestSingle {
+			failures = append(failures, fmt.Sprintf("class %s: portfolio makespan %.2f exceeds 1.02× best single %.2f",
+				cl.Name(), portfolioCell.Makespan, bestSingle))
+		}
+	}
+	return failures
 }

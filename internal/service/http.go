@@ -123,7 +123,23 @@ type jobResultJSON struct {
 	// EffectiveBudget is the bound the run actually enforced (the
 	// submitted budget plus any context deadline the engine absorbed).
 	EffectiveBudget *budgetJSON `json:"effective_budget,omitempty"`
-	Assignment      []int       `json:"assignment,omitempty"`
+	// PerConstituent breaks a composite (portfolio) job down by
+	// constituent solver; omitted for single-solver jobs.
+	PerConstituent []constituentJSON `json:"per_constituent,omitempty"`
+	Assignment     []int             `json:"assignment,omitempty"`
+}
+
+// constituentJSON is the wire shape of one constituent's share of a
+// portfolio job.
+type constituentJSON struct {
+	Solver       string  `json:"solver"`
+	Evaluations  int64   `json:"evaluations"`
+	Generations  int64   `json:"generations"`
+	Rounds       int64   `json:"rounds"`
+	Improvements int64   `json:"improvements"`
+	BestFitness  float64 `json:"best_fitness,omitempty"`
+	Busy         string  `json:"busy"`
+	Error        string  `json:"error,omitempty"`
 }
 
 func jobToJSON(j Job, includeAssignment bool) jobJSON {
@@ -159,6 +175,18 @@ func jobToJSON(j Job, includeAssignment bool) jobJSON {
 			LocalSearchMoves: r.LocalSearchMoves,
 			Duration:         r.Duration.String(),
 			EffectiveBudget:  budgetToJSON(r.EffectiveBudget),
+		}
+		for _, c := range r.PerConstituent {
+			out.Result.PerConstituent = append(out.Result.PerConstituent, constituentJSON{
+				Solver:       c.Solver,
+				Evaluations:  c.Evaluations,
+				Generations:  c.Generations,
+				Rounds:       c.Rounds,
+				Improvements: c.Improvements,
+				BestFitness:  c.BestFitness,
+				Busy:         c.Busy.String(),
+				Error:        c.Err,
+			})
 		}
 		if includeAssignment {
 			out.Result.Assignment = r.Assignment

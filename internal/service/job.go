@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"sort"
 	"sync"
 	"time"
@@ -100,7 +101,11 @@ type JobResult struct {
 	// including any context deadline absorbed by the stop engine — the
 	// submitted Job.Budget alone reads "unbounded" in that case.
 	EffectiveBudget solver.Budget
-	Assignment      []int
+	// PerConstituent, for composite (portfolio) jobs, breaks the run
+	// down per constituent solver: evaluations, busy time, restart
+	// rounds and incumbent contributions. Nil for single-solver jobs.
+	PerConstituent []solver.ConstituentResult
+	Assignment     []int
 }
 
 // job is the manager's mutable record behind Job snapshots.
@@ -169,18 +174,22 @@ func (j *job) begin() bool {
 }
 
 // finish records the solver's outcome. Cancellation wins over the
-// solver's (typically partial but error-free) return: a run that was
-// asked to stop reports StateCancelled even though the solver
-// surfaced its best-so-far.
+// solver's return: a run that was asked to stop reports StateCancelled
+// whether the solver surfaced its best-so-far (partial but error-free)
+// or surfaced the context error itself — a zero-budget heuristic that
+// noticed the cancel and returned ctx.Err() was previously misfiled as
+// StateFailed. A genuine solver error still reports StateFailed even
+// when a cancel raced it, so failure detail is never masked.
 func (j *job) finish(res *solver.Result, err error) {
 	j.mu.Lock()
 	j.finished = time.Now()
 	j.result = res
+	cancelled := j.cancelReq || j.ctx.Err() != nil
 	switch {
-	case err != nil:
+	case err != nil && !(cancelled && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))):
 		j.st = StateFailed
 		j.err = err
-	case j.cancelReq || j.ctx.Err() != nil:
+	case cancelled:
 		j.st = StateCancelled
 	default:
 		j.st = StateDone
@@ -256,6 +265,7 @@ func (j *job) snapshot() Job {
 			LocalSearchMoves: r.LocalSearchMoves,
 			Duration:         r.Duration,
 			EffectiveBudget:  r.EffectiveBudget,
+			PerConstituent:   append([]solver.ConstituentResult(nil), r.Constituents...),
 			Assignment:       append([]int(nil), r.Best.S...),
 		}
 	}

@@ -34,6 +34,7 @@ import (
 	_ "gridsched/internal/core"
 	_ "gridsched/internal/heuristics"
 	_ "gridsched/internal/islands"
+	_ "gridsched/internal/portfolio"
 	_ "gridsched/internal/tabu"
 )
 
@@ -342,10 +343,18 @@ func (s *Server) Close() error {
 }
 
 // worker pulls jobs off the queue until the queue is closed and
-// drained. A job cancelled while queued is retired without running.
+// drained. A job cancelled while queued is retired without running —
+// including one whose context a forced shutdown (or a client Cancel
+// racing the dequeue) already cancelled: running it anyway would make
+// drain latency depend on every solver noticing the dead context, and
+// zero-budget heuristics never would. Either way the job reaches a
+// terminal state and releases its Server.Wait waiters.
 func (s *Server) worker() {
 	defer s.workers.Done()
 	for j := range s.queue {
+		if j.ctx.Err() != nil {
+			j.requestCancel()
+		}
 		if j.begin() {
 			res, err := j.solver.Solve(j.ctx, j.inst, j.budget)
 			j.finish(res, err)

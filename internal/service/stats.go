@@ -1,6 +1,7 @@
 package service
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -135,14 +136,34 @@ func (b *statsBook) snapshot(env statsEnv) Stats {
 			BusyTime:    c.busy,
 			MaxLatency:  c.maxLatency,
 		}
-		if c.ran > 0 {
-			s.MeanLatency = c.busy / time.Duration(c.ran)
-		}
-		if c.busy > 0 {
-			s.EvalsPerSecond = float64(c.evaluations) / c.busy.Seconds()
-		}
+		s.MeanLatency = meanLatency(c.busy, c.ran)
+		s.EvalsPerSecond = safeRate(float64(c.evaluations), c.busy.Seconds())
 		out.Solvers = append(out.Solvers, s)
 	}
 	sort.Slice(out.Solvers, func(i, j int) bool { return out.Solvers[i].Solver < out.Solvers[j].Solver })
 	return out
+}
+
+// meanLatency divides defensively: a burst of heuristic jobs can
+// retire with ran == 0 busy samples (or a clock too coarse to tick),
+// and a mean of nothing is 0, not a division fault.
+func meanLatency(busy time.Duration, ran int64) time.Duration {
+	if ran <= 0 {
+		return 0
+	}
+	return busy / time.Duration(ran)
+}
+
+// safeRate computes n per second over sec, returning 0 instead of the
+// ±Inf/NaN a zero (or degenerate) denominator would produce —
+// encoding/json refuses non-finite floats, so one poisoned counter
+// would otherwise break the whole /v1/stats payload.
+func safeRate(n, sec float64) float64 {
+	if sec <= 0 {
+		return 0
+	}
+	if r := n / sec; !math.IsInf(r, 0) && !math.IsNaN(r) {
+		return r
+	}
+	return 0
 }

@@ -90,16 +90,59 @@ const deadlinePollInterval = 64
 // sweep/generation — or every deadlinePollInterval steps via StopStep
 // in steady-state loops — so wall-clock runs may overshoot by one
 // sweep.
+//
+// Engines compose: an engine created from a context carrying a parent
+// engine (see WithEngine) becomes that parent's child — its
+// evaluations charge the parent's counter too, and it stops when any
+// bound along the parent chain trips. Composite solvers (the
+// portfolio) use this to run constituent solvers, unchanged, against
+// nested budgets: the constituent's own NewEngine call transparently
+// attaches to the accounting engine the composer put in the context.
 type Engine struct {
 	budget   Budget
 	ctx      context.Context
 	deadline time.Time
 	start    time.Time
 	evals    atomic.Int64
+
+	// parent, when non-nil, receives every AddEvals and is consulted by
+	// the stop checks: a child never outlives its parent's bounds.
+	parent *Engine
+	// bonus adjusts the evaluation bound by budget moved in (positive)
+	// or reclaimed (negative) by Transfer. Only meaningful while
+	// budget.MaxEvaluations > 0 — an unbounded engine has nothing to
+	// move.
+	bonus atomic.Int64
+}
+
+// engineCtxKey carries a parent engine through a context (WithEngine).
+type engineCtxKey struct{}
+
+// WithEngine returns a context that makes every engine subsequently
+// created from it a child of parent: the child's evaluations charge
+// parent as well, and the child stops when parent's bounds trip. This
+// is how a composite solver threads its accounting through constituent
+// solvers without changing their Solve signatures.
+func WithEngine(ctx context.Context, parent *Engine) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, engineCtxKey{}, parent)
+}
+
+// EngineFrom returns the parent engine carried by ctx, or nil.
+func EngineFrom(ctx context.Context) *Engine {
+	if ctx == nil {
+		return nil
+	}
+	e, _ := ctx.Value(engineCtxKey{}).(*Engine)
+	return e
 }
 
 // NewEngine starts the budget clock. A nil ctx is treated as
-// context.Background().
+// context.Background(). When ctx carries a parent engine (WithEngine),
+// the new engine is linked under it: evaluations propagate up and the
+// parent's deadline, if earlier, is absorbed.
 func NewEngine(ctx context.Context, b Budget) *Engine {
 	if ctx == nil {
 		ctx = context.Background()
@@ -111,7 +154,89 @@ func NewEngine(ctx context.Context, b Budget) *Engine {
 	if ctxDeadline, ok := ctx.Deadline(); ok && (e.deadline.IsZero() || ctxDeadline.Before(e.deadline)) {
 		e.deadline = ctxDeadline
 	}
+	if p := EngineFrom(ctx); p != nil {
+		e.parent = p
+		if !p.deadline.IsZero() && (e.deadline.IsZero() || p.deadline.Before(e.deadline)) {
+			e.deadline = p.deadline
+		}
+	}
 	return e
+}
+
+// Child carves a child accounting engine off e for one constituent of
+// a composite run: frac of e's evaluation budget (rounded down, at
+// least 1 when e is evaluation-bounded), e's deadline, and e's
+// generation bound. Evaluations recorded on the child charge e too, so
+// the parent's own bounds cap the whole family regardless of how the
+// children's budgets were split or later moved by Transfer.
+func (e *Engine) Child(frac float64) *Engine {
+	cb := Budget{MaxGenerations: e.budget.MaxGenerations}
+	if e.budget.MaxEvaluations > 0 {
+		cb.MaxEvaluations = int64(frac * float64(e.budget.MaxEvaluations))
+		if cb.MaxEvaluations < 1 {
+			cb.MaxEvaluations = 1
+		}
+	}
+	c := &Engine{budget: cb, ctx: e.ctx, start: time.Now(), deadline: e.deadline, parent: e}
+	if !c.deadline.IsZero() {
+		if cb.MaxDuration = time.Until(c.deadline); cb.MaxDuration <= 0 {
+			cb.MaxDuration = time.Nanosecond
+		}
+		c.budget = cb
+	}
+	return c
+}
+
+// Transfer moves up to n unspent evaluations of e's budget to the
+// engine to (typically a sibling child of the same parent): e's bound
+// shrinks, to's grows. It returns the amount actually moved — zero
+// when either engine is evaluation-unbounded or e has nothing left.
+// Concurrent transfers out of the same donor serialize on a CAS over
+// its bonus, so a remainder can never be granted twice; a transfer
+// racing the donor's own in-flight breeding step can still over-grant
+// by that one step, which the shared parent bound absorbs.
+func (e *Engine) Transfer(to *Engine, n int64) int64 {
+	if e == nil || to == nil || e == to || n <= 0 {
+		return 0
+	}
+	if e.budget.MaxEvaluations <= 0 || to.budget.MaxEvaluations <= 0 {
+		return 0
+	}
+	for {
+		bonus := e.bonus.Load()
+		move := n
+		if rem := e.budget.MaxEvaluations + bonus - e.evals.Load(); rem < move {
+			move = rem
+		}
+		if move <= 0 {
+			return 0
+		}
+		if e.bonus.CompareAndSwap(bonus, bonus-move) {
+			to.bonus.Add(move)
+			return move
+		}
+	}
+}
+
+// evalBound returns the engine's effective evaluation bound (the
+// submitted bound adjusted by transfers) and whether one is in force.
+func (e *Engine) evalBound() (int64, bool) {
+	if e.budget.MaxEvaluations <= 0 {
+		return 0, false
+	}
+	return e.budget.MaxEvaluations + e.bonus.Load(), true
+}
+
+// remainingLocal is RemainingEvals without consulting the parent.
+func (e *Engine) remainingLocal() int64 {
+	bound, ok := e.evalBound()
+	if !ok {
+		return -1
+	}
+	if rem := bound - e.evals.Load(); rem > 0 {
+		return rem
+	}
+	return 0
 }
 
 // Budget returns the bounds the engine was created with.
@@ -120,7 +245,8 @@ func (e *Engine) Budget() Budget { return e.budget }
 // EffectiveBudget returns the bounds the engine actually enforces: when
 // a deadline is in force — whether from the budget's own MaxDuration or
 // absorbed from the context at NewEngine time — MaxDuration reflects
-// the distance from the engine's start to that effective deadline.
+// the distance from the engine's start to that effective deadline, and
+// MaxEvaluations reflects any budget moved in or out by Transfer.
 // Solvers record it on Result so job and sweep reports never show
 // "unbounded" for a run that a context deadline is bounding.
 func (e *Engine) EffectiveBudget() Budget {
@@ -133,11 +259,27 @@ func (e *Engine) EffectiveBudget() Budget {
 			b.MaxDuration = time.Nanosecond
 		}
 	}
+	if bound, ok := e.evalBound(); ok {
+		// A bound fully reclaimed by Transfer still bounds the engine
+		// (it is exhausted); clamp so the report never reads unbounded.
+		if bound < 1 {
+			bound = 1
+		}
+		b.MaxEvaluations = bound
+	}
 	return b
 }
 
-// AddEvals records n fitness evaluations and returns the new total.
-func (e *Engine) AddEvals(n int64) int64 { return e.evals.Add(n) }
+// AddEvals records n fitness evaluations and returns the engine's new
+// total. A child engine charges its whole parent chain as well, so a
+// composite run's top engine counts every constituent's work.
+func (e *Engine) AddEvals(n int64) int64 {
+	total := e.evals.Add(n)
+	if e.parent != nil {
+		e.parent.AddEvals(n)
+	}
+	return total
+}
 
 // Evals returns the evaluations recorded so far.
 func (e *Engine) Evals() int64 { return e.evals.Load() }
@@ -145,19 +287,41 @@ func (e *Engine) Evals() int64 { return e.evals.Load() }
 // Elapsed is the wall time since the engine started.
 func (e *Engine) Elapsed() time.Duration { return time.Since(e.start) }
 
-// EvalsExhausted reports whether the evaluation budget is spent. One
-// atomic load: safe to call before every breeding step on every worker.
+// EvalsExhausted reports whether the evaluation budget is spent — the
+// engine's own (transfers included) or any bound up the parent chain.
+// A few atomic loads: safe to call before every breeding step on every
+// worker.
 func (e *Engine) EvalsExhausted() bool {
-	return e.budget.MaxEvaluations > 0 && e.evals.Load() >= e.budget.MaxEvaluations
+	if bound, ok := e.evalBound(); ok && e.evals.Load() >= bound {
+		return true
+	}
+	return e.parent != nil && e.parent.EvalsExhausted()
 }
 
-// RemainingEvals returns how many evaluations the budget still allows,
-// or -1 when evaluations are unbounded.
+// RemainingEvals returns how many evaluations the budget still allows —
+// the tightest bound along the parent chain — or -1 when evaluations
+// are unbounded everywhere.
 func (e *Engine) RemainingEvals() int64 {
-	if e.budget.MaxEvaluations <= 0 {
+	rem := e.remainingLocal()
+	if e.parent != nil {
+		if prem := e.parent.RemainingEvals(); prem >= 0 && (rem < 0 || prem < rem) {
+			rem = prem
+		}
+	}
+	return rem
+}
+
+// RemainingDuration returns the time left before the effective
+// deadline (its own or the nearest one up the parent chain), or -1
+// when no deadline is in force.
+func (e *Engine) RemainingDuration() time.Duration {
+	if e.deadline.IsZero() {
+		if e.parent != nil {
+			return e.parent.RemainingDuration()
+		}
 		return -1
 	}
-	if rem := e.budget.MaxEvaluations - e.evals.Load(); rem > 0 {
+	if rem := time.Until(e.deadline); rem > 0 {
 		return rem
 	}
 	return 0
@@ -170,13 +334,17 @@ func (e *Engine) GenerationsDone(gens int64) bool {
 }
 
 // Expired reports whether the wall-clock deadline has passed or the
-// context was cancelled. It polls the clock, so call it at sweep
-// granularity (or let StopStep throttle it).
+// context was cancelled — here or anywhere up the parent chain. It
+// polls the clock, so call it at sweep granularity (or let StopStep
+// throttle it).
 func (e *Engine) Expired() bool {
 	if e.ctx.Err() != nil {
 		return true
 	}
-	return !e.deadline.IsZero() && !time.Now().Before(e.deadline)
+	if !e.deadline.IsZero() && !time.Now().Before(e.deadline) {
+		return true
+	}
+	return e.parent != nil && e.parent.Expired()
 }
 
 // StopSweep is the per-sweep stop check for generation-structured

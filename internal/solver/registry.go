@@ -3,6 +3,7 @@ package solver
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -10,9 +11,16 @@ import (
 // packages register themselves in init, so importing a package makes
 // its solvers dispatchable by name; the gridsched facade imports every
 // implementation and therefore always sees the full set.
+//
+// Alongside concrete names the registry holds schemes: dynamic
+// resolvers for parameterized names of the form "prefix:spec" (the
+// portfolio's "portfolio:pa-cga+tabu"). Lookup consults schemes only
+// after exact-name resolution fails, so a concretely registered preset
+// shadows its scheme expansion.
 var (
 	regMu    sync.RWMutex
 	registry = map[string]Solver{}
+	schemes  = map[string]func(name string) (Solver, error){}
 )
 
 // Register adds s under s.Name(). It panics on an empty name or a
@@ -31,15 +39,47 @@ func Register(s Solver) {
 	registry[name] = s
 }
 
-// Lookup resolves a registered solver by name.
+// RegisterScheme adds a dynamic resolver for solver names of the form
+// "prefix:spec". The resolver receives the full requested name and
+// must return a Solver whose Name() echoes it (so the registry
+// contract — Lookup(n).Name() == n — holds for dynamic names too) or a
+// descriptive error. Like Register, it panics on an empty or duplicate
+// prefix: both are programmer errors wiring up a scheme.
+func RegisterScheme(prefix string, resolve func(name string) (Solver, error)) {
+	if prefix == "" || strings.Contains(prefix, ":") {
+		panic(fmt.Sprintf("solver: RegisterScheme with invalid prefix %q", prefix))
+	}
+	if resolve == nil {
+		panic("solver: RegisterScheme with nil resolver")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := schemes[prefix]; dup {
+		panic(fmt.Sprintf("solver: duplicate scheme registration of %q", prefix))
+	}
+	schemes[prefix] = resolve
+}
+
+// Lookup resolves a solver by name: an exact registration first, then —
+// for names of the form "prefix:spec" — the prefix's registered scheme
+// resolver.
 func Lookup(name string) (Solver, error) {
 	regMu.RLock()
 	s, ok := registry[name]
-	regMu.RUnlock()
+	var resolve func(string) (Solver, error)
 	if !ok {
-		return nil, fmt.Errorf("solver: unknown solver %q (have: %v)", name, Names())
+		if i := strings.IndexByte(name, ':'); i > 0 {
+			resolve = schemes[name[:i]]
+		}
 	}
-	return s, nil
+	regMu.RUnlock()
+	if ok {
+		return s, nil
+	}
+	if resolve != nil {
+		return resolve(name)
+	}
+	return nil, fmt.Errorf("solver: unknown solver %q (have: %v)", name, Names())
 }
 
 // Names lists every registered solver name, sorted.

@@ -52,6 +52,41 @@ func WithSeed(s Solver, seed uint64) Solver {
 	return s
 }
 
+// Restarter is implemented by solvers that can begin their search from
+// a caller-supplied schedule instead of their default construction (a
+// warm start). WithStart must return a copy configured to start from
+// start — the receiver stays untouched and start itself is never
+// mutated (implementations clone it before searching). The schedule
+// must belong to the same instance the returned solver will be run on;
+// composite solvers use this to seed constituent restarts from a
+// shared incumbent.
+type Restarter interface {
+	WithStart(start *schedule.Schedule) Solver
+}
+
+// Initializer is implemented by solvers that spend a fixed number of
+// evaluations on initialization before the search proper begins — a
+// population GA evaluates its whole initial population first.
+// Composite solvers (the portfolio) use it to size restart rounds so a
+// round amortizes the initialization it pays for; solvers that start
+// searching immediately (trajectory methods, heuristics) simply don't
+// implement it.
+type Initializer interface {
+	InitEvals(inst *etc.Instance) int64
+}
+
+// InitEvals reports the solver's declared initialization cost on inst,
+// or 1 (the single construction/evaluation every solver performs) when
+// it makes no declaration.
+func InitEvals(s Solver, inst *etc.Instance) int64 {
+	if in, ok := s.(Initializer); ok {
+		if n := in.InitEvals(inst); n > 1 {
+			return n
+		}
+	}
+	return 1
+}
+
 // Reproducible is implemented by solvers that declare whether two runs
 // with equal configuration, equal seed and a deterministic budget
 // (evaluations or generations — wall-clock budgets are inherently
@@ -103,4 +138,32 @@ type Result struct {
 	// Diversity, when requested, holds the mean per-task Simpson
 	// diversity of the population at each generation index.
 	Diversity []float64
+	// Constituents, set by composite meta-solvers (the portfolio),
+	// breaks the run down per constituent; nil for single-solver runs.
+	// The constituents' Evaluations sum to the composite's Evaluations,
+	// which its parent budget bounds.
+	Constituents []ConstituentResult
+}
+
+// ConstituentResult is one constituent solver's share of a composite
+// (portfolio) run.
+type ConstituentResult struct {
+	// Solver is the constituent's registry name.
+	Solver string
+	// Evaluations is the constituent's share of the evaluation counter;
+	// Generations sums its rounds' generation counts.
+	Evaluations int64
+	Generations int64
+	// Rounds is how many (re)starts the race gave this constituent.
+	Rounds int64
+	// Improvements counts the constituent's accepted publications to
+	// the shared incumbent — its contribution to the final answer.
+	Improvements int64
+	// BestFitness is the best fitness this constituent found itself
+	// (+Inf rendered as 0 when it never produced a schedule).
+	BestFitness float64
+	// Busy is the wall time the constituent spent inside Solve calls.
+	Busy time.Duration
+	// Err reports a constituent failure; the race continues without it.
+	Err string
 }

@@ -265,3 +265,169 @@ func TestEffectiveBudgetExpiredDeadlineNotUnbounded(t *testing.T) {
 		t.Fatalf("EffectiveFor = %v for an expired deadline, want a positive bound", eff)
 	}
 }
+
+func TestEngineChildAccounting(t *testing.T) {
+	parent := NewEngine(nil, Budget{MaxEvaluations: 900, MaxGenerations: 7})
+	a := parent.Child(1.0 / 3)
+	b := parent.Child(1.0 / 3)
+	if got := a.Budget().MaxEvaluations; got != 300 {
+		t.Fatalf("child budget = %d, want 300", got)
+	}
+	if got := a.Budget().MaxGenerations; got != 7 {
+		t.Fatalf("child generations = %d, want parent's 7", got)
+	}
+
+	// Child evaluations charge the parent too.
+	a.AddEvals(100)
+	b.AddEvals(50)
+	if got := parent.Evals(); got != 150 {
+		t.Fatalf("parent Evals = %d, want 150", got)
+	}
+	if got := a.Evals(); got != 100 {
+		t.Fatalf("child Evals = %d, want 100", got)
+	}
+
+	// A grandchild created through WithEngine charges the whole chain.
+	g := NewEngine(WithEngine(context.Background(), a), Budget{MaxEvaluations: 10})
+	g.AddEvals(10)
+	if got, want := a.Evals(), int64(110); got != want {
+		t.Fatalf("child Evals after grandchild = %d, want %d", got, want)
+	}
+	if got, want := parent.Evals(), int64(160); got != want {
+		t.Fatalf("parent Evals after grandchild = %d, want %d", got, want)
+	}
+	if !g.EvalsExhausted() {
+		t.Fatal("grandchild bound reached but not exhausted")
+	}
+
+	// The child's remaining is capped by the tightest bound up the
+	// chain; exhausting the parent exhausts every child.
+	parent.AddEvals(parent.RemainingEvals())
+	if !a.EvalsExhausted() || !b.EvalsExhausted() {
+		t.Fatal("parent exhaustion not visible to children")
+	}
+	if got := a.RemainingEvals(); got != 0 {
+		t.Fatalf("child RemainingEvals = %d after parent exhaustion", got)
+	}
+}
+
+func TestEngineChildInheritsDeadline(t *testing.T) {
+	parent := NewEngine(nil, Budget{MaxDuration: 10 * time.Millisecond})
+	c := parent.Child(0.5)
+	if c.RemainingDuration() <= 0 || c.RemainingDuration() > 10*time.Millisecond {
+		t.Fatalf("child RemainingDuration = %v", c.RemainingDuration())
+	}
+	time.Sleep(15 * time.Millisecond)
+	if !c.Expired() {
+		t.Fatal("child did not inherit the parent deadline")
+	}
+	// No deadline anywhere: -1.
+	free := NewEngine(nil, Budget{MaxEvaluations: 1})
+	if got := free.RemainingDuration(); got != -1 {
+		t.Fatalf("RemainingDuration = %v, want -1 with no deadline", got)
+	}
+}
+
+func TestEngineTransfer(t *testing.T) {
+	parent := NewEngine(nil, Budget{MaxEvaluations: 1000})
+	a := parent.Child(0.5)
+	b := parent.Child(0.5)
+
+	a.AddEvals(100) // 400 left locally
+	if moved := a.Transfer(b, 150); moved != 150 {
+		t.Fatalf("Transfer moved %d, want 150", moved)
+	}
+	if got := a.RemainingEvals(); got != 250 {
+		t.Fatalf("donor remaining = %d, want 250", got)
+	}
+	if got := b.RemainingEvals(); got != 650 {
+		t.Fatalf("recipient remaining = %d, want 650", got)
+	}
+	// The effective budget reflects the transfer.
+	if got := a.EffectiveBudget().MaxEvaluations; got != 350 {
+		t.Fatalf("donor EffectiveBudget = %d, want 350", got)
+	}
+	if got := b.EffectiveBudget().MaxEvaluations; got != 650 {
+		t.Fatalf("recipient EffectiveBudget = %d, want 650", got)
+	}
+
+	// Over-asking clamps to what the donor has left.
+	if moved := a.Transfer(b, 1<<30); moved != 250 {
+		t.Fatalf("clamped Transfer moved %d, want 250", moved)
+	}
+	if !a.EvalsExhausted() {
+		t.Fatal("fully-drained donor not exhausted")
+	}
+
+	// Self, nil and unbounded transfers are no-ops.
+	if a.Transfer(a, 10) != 0 {
+		t.Fatal("self transfer moved budget")
+	}
+	free := NewEngine(nil, Budget{MaxDuration: time.Hour})
+	if free.Transfer(b, 10) != 0 || b.Transfer(free, 10) != 0 {
+		t.Fatal("transfer with an unbounded engine moved budget")
+	}
+	// The parent bound still caps the family after transfers.
+	b.AddEvals(900)
+	if got := parent.Evals(); got != 1000 {
+		t.Fatalf("parent Evals = %d, want 1000", got)
+	}
+	if !b.EvalsExhausted() {
+		t.Fatal("recipient not stopped by the parent bound")
+	}
+}
+
+func TestEngineFromContext(t *testing.T) {
+	if EngineFrom(nil) != nil || EngineFrom(context.Background()) != nil {
+		t.Fatal("EngineFrom invented an engine")
+	}
+	e := NewEngine(nil, Budget{MaxEvaluations: 1})
+	if got := EngineFrom(WithEngine(context.Background(), e)); got != e {
+		t.Fatal("EngineFrom did not return the carried engine")
+	}
+	// NewEngine without a carried engine has no parent: its evals stay
+	// its own.
+	solo := NewEngine(context.Background(), Budget{MaxEvaluations: 5})
+	solo.AddEvals(2)
+	if e.Evals() != 0 {
+		t.Fatal("unlinked engine charged a stranger")
+	}
+}
+
+func TestRegisterScheme(t *testing.T) {
+	RegisterScheme("stub-scheme", func(name string) (Solver, error) {
+		if name == "stub-scheme:bad" {
+			return nil, context.Canceled
+		}
+		return stubSolver{name: name}, nil
+	})
+	s, err := Lookup("stub-scheme:anything+else")
+	if err != nil || s.Name() != "stub-scheme:anything+else" {
+		t.Fatalf("scheme Lookup: %v, %v", s, err)
+	}
+	if _, err := Lookup("stub-scheme:bad"); err == nil {
+		t.Fatal("scheme resolver error swallowed")
+	}
+	// Exact registrations shadow scheme expansion.
+	Register(stubSolver{name: "stub-scheme:exact"})
+	s, err = Lookup("stub-scheme:exact")
+	if err != nil || s.(stubSolver).seed != 0 {
+		t.Fatalf("exact registration not preferred: %v, %v", s, err)
+	}
+	// Unknown prefixes still fail.
+	if _, err := Lookup("no-such-scheme:x"); err == nil {
+		t.Fatal("unknown scheme resolved")
+	}
+	// Scheme names never leak into Names().
+	for _, n := range Names() {
+		if n == "stub-scheme:anything+else" {
+			t.Fatal("dynamically resolved name leaked into Names()")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate scheme registration did not panic")
+		}
+	}()
+	RegisterScheme("stub-scheme", func(name string) (Solver, error) { return nil, nil })
+}

@@ -1,0 +1,76 @@
+package tabu
+
+import (
+	"context"
+	"testing"
+
+	"gridsched/internal/etc"
+	"gridsched/internal/heuristics"
+	"gridsched/internal/solver"
+)
+
+func h2llInstance(t *testing.T) *etc.Instance {
+	t.Helper()
+	inst, err := etc.Generate(etc.GenSpec{
+		Class: etc.Class{Consistency: etc.Inconsistent, TaskHet: etc.High, MachineHet: etc.High},
+		Tasks: 128, Machines: 8, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestH2LLSolverImprovesOnMinMin(t *testing.T) {
+	inst := h2llInstance(t)
+	res, err := H2LLSolver{Seed: 1}.Solve(context.Background(), inst, solver.Budget{MaxEvaluations: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := heuristics.MinMin(inst).Makespan()
+	if res.BestFitness > mm {
+		t.Fatalf("h2ll best %v worse than its Min-min start %v", res.BestFitness, mm)
+	}
+	if res.Evaluations > 2000 {
+		t.Fatalf("Evaluations = %d exceeds the budget", res.Evaluations)
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Fatalf("invalid schedule: %v", err)
+	}
+}
+
+func TestH2LLSolverRejectsZeroBudget(t *testing.T) {
+	if _, err := (H2LLSolver{}).Solve(context.Background(), h2llInstance(t), solver.Budget{}); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}
+
+func TestWithStartWarmStart(t *testing.T) {
+	inst := h2llInstance(t)
+	warm := heuristics.Sufferage(inst)
+	warmFit := warm.Makespan()
+
+	for _, sv := range []solver.Solver{Solver{Seed: 1}, H2LLSolver{Seed: 1}} {
+		rs, ok := sv.(solver.Restarter)
+		if !ok {
+			t.Fatalf("%s does not implement Restarter", sv.Name())
+		}
+		started := rs.WithStart(warm)
+		res, err := started.Solve(context.Background(), inst, solver.Budget{MaxEvaluations: 500})
+		if err != nil {
+			t.Fatalf("%s: %v", sv.Name(), err)
+		}
+		// A warm-started trajectory can only match or improve its start.
+		if res.BestFitness > warmFit {
+			t.Fatalf("%s: warm start %v regressed to %v", sv.Name(), warmFit, res.BestFitness)
+		}
+		// The supplied schedule is cloned, never mutated.
+		if warm.Makespan() != warmFit {
+			t.Fatalf("%s mutated the start schedule", sv.Name())
+		}
+		// The receiver stays untouched (value semantics).
+		if sv.(solver.Restarter) == nil {
+			t.Fatal("unreachable")
+		}
+	}
+}

@@ -26,6 +26,10 @@ type Solver struct {
 	KickMoves int
 	// RandomStart begins from a random schedule instead of Min-min.
 	RandomStart bool
+	// Start, when non-nil, begins the search from (a clone of) this
+	// schedule, overriding RandomStart and the Min-min default; see
+	// solver.Restarter. It must belong to the instance Solve receives.
+	Start *schedule.Schedule
 	// Seed drives all randomness.
 	Seed uint64
 }
@@ -41,6 +45,13 @@ func (s Solver) Describe() string {
 // WithSeed implements solver.Seeder.
 func (s Solver) WithSeed(seed uint64) solver.Solver {
 	s.Seed = seed
+	return s
+}
+
+// WithStart implements solver.Restarter: the returned copy starts its
+// trajectory from start instead of Min-min.
+func (s Solver) WithStart(start *schedule.Schedule) solver.Solver {
+	s.Start = start
 	return s
 }
 
@@ -66,9 +77,12 @@ func (s Solver) Solve(ctx context.Context, inst *etc.Instance, b solver.Budget) 
 	r := rng.New(s.Seed)
 
 	var cur *schedule.Schedule
-	if s.RandomStart {
+	switch {
+	case s.Start != nil && s.Start.Inst == inst:
+		cur = s.Start.Clone()
+	case s.RandomStart:
 		cur = schedule.NewRandom(inst, r)
-	} else {
+	default:
 		cur = heuristics.MinMin(inst)
 	}
 	eng.AddEvals(1)

@@ -20,7 +20,9 @@ const (
 	// EvalSlack is the permitted overshoot of the evaluation counter:
 	// the shared engine checks EvalsExhausted before each breeding step,
 	// so each concurrent worker may add one step's evaluation past the
-	// bound. 64 covers any plausible worker count; a solver that
+	// bound — and a composite solver's child engines inherit the same
+	// per-worker granularity, summed over its constituent lanes. 64
+	// covers any plausible worker count either way; a solver that
 	// ignores the budget overshoots by orders of magnitude more.
 	EvalSlack = 64
 	// WallBudget is the wall-clock budget of the duration-adherence

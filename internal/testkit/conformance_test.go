@@ -14,6 +14,7 @@ import (
 	_ "gridsched/internal/core"
 	_ "gridsched/internal/heuristics"
 	_ "gridsched/internal/islands"
+	_ "gridsched/internal/portfolio"
 	_ "gridsched/internal/tabu"
 )
 
@@ -30,7 +31,7 @@ func TestSolverConformance(t *testing.T) {
 func TestRegistryCoversKnownFamilies(t *testing.T) {
 	for _, name := range []string{
 		"pa-cga", "sync-cga", "struggle", "cma-lth", "generational",
-		"islands", "tabu",
+		"islands", "tabu", "h2ll", "portfolio",
 		"minmin", "maxmin", "sufferage", "mct", "met", "olb", "ljfr-sjfr",
 	} {
 		if _, err := solver.Lookup(name); err != nil {

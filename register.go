@@ -9,5 +9,6 @@ import (
 	_ "gridsched/internal/core"
 	_ "gridsched/internal/heuristics"
 	_ "gridsched/internal/islands"
+	_ "gridsched/internal/portfolio"
 	_ "gridsched/internal/tabu"
 )
