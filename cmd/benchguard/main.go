@@ -5,13 +5,23 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench '^Benchmark(IncrementalEval|FullRecomputeEval|ETCLayout|H2LLCandidates|Makespan|Move|Portfolio)' . | go run ./cmd/benchguard
+//	go test -run '^$' -bench '^Benchmark(IncrementalEval|FullRecomputeEval|ETCLayout|H2LLCandidates|Makespan|Move|Portfolio|SolverThroughput)' . | go run ./cmd/benchguard
 //	go run ./cmd/benchguard -baseline BENCH_baseline.json bench.txt
 //	go test -run '^$' -bench '...' . | go run ./cmd/benchguard -update
+//	go test -run '^$' -bench '...' -benchtime 1x . | go run ./cmd/benchguard -names-only
 //
 // -update rewrites the baseline from the current run (keeping the
 // configured threshold) instead of comparing; commit the result when a
 // deliberate change moves the numbers.
+//
+// -require-all additionally fails when the run contains benchmarks the
+// baseline does not know: a newly added guarded benchmark must land
+// together with its baseline entry, or the guard would silently never
+// hold it. -names-only checks exactly that name-set agreement — in both
+// directions — while ignoring the timings; it is meant for
+// `-benchtime 1x` smoke runs, whose single iteration measures nothing
+// but still proves the guarded set and the baseline have not drifted
+// apart.
 package main
 
 import (
@@ -20,6 +30,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 
 	"gridsched/internal/benchcmp"
 )
@@ -32,6 +43,8 @@ func main() {
 		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline file to compare against (or rewrite with -update)")
 		threshold    = flag.Float64("threshold", 0, "relative slowdown that fails the guard (0 = baseline's own threshold, default 0.25)")
 		update       = flag.Bool("update", false, "rewrite the baseline from the current run instead of comparing")
+		requireAll   = flag.Bool("require-all", false, "also fail when the run contains benchmarks absent from the baseline")
+		namesOnly    = flag.Bool("names-only", false, "check only that run and baseline cover the same benchmark names (implies -require-all, ignores timings; for -benchtime 1x smoke runs)")
 	)
 	flag.Parse()
 
@@ -66,6 +79,14 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *namesOnly {
+		if !compareNames(base, current) {
+			log.Fatalf("benchmark name sets diverged from %s", *baselinePath)
+		}
+		fmt.Printf("benchmark guard passed: %d benchmark names match the baseline\n", len(current))
+		return
+	}
+
 	results, ok := benchcmp.Compare(base, current, *threshold)
 	for _, r := range results {
 		switch {
@@ -77,17 +98,58 @@ func main() {
 			fmt.Printf("ok       %-45s %.4g -> %.4g ns/op (%+.1f%%)\n", r.Name, r.Baseline, r.Current, 100*r.Delta)
 		}
 	}
+	if *requireAll {
+		for _, name := range unknownNames(base, current) {
+			fmt.Printf("UNKNOWN  %-45s %.4g ns/op in this run, absent from the baseline\n", name, current[name])
+			ok = false
+		}
+	}
 	if !ok {
 		log.Fatalf("benchmark guard failed against %s", *baselinePath)
 	}
 	fmt.Printf("benchmark guard passed: %d benchmarks within threshold\n", len(results))
 }
 
+// unknownNames returns, sorted, the benchmarks of the current run that
+// the baseline has no entry for.
+func unknownNames(base benchcmp.Baseline, current map[string]float64) []string {
+	var names []string
+	for name := range current {
+		if _, known := base.Benchmarks[name]; !known {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// compareNames checks that run and baseline cover exactly the same
+// benchmark names, printing one line per divergence.
+func compareNames(base benchcmp.Baseline, current map[string]float64) bool {
+	ok := true
+	var missing []string
+	for name := range base.Benchmarks {
+		if _, ran := current[name]; !ran {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Printf("MISSING  %-45s in baseline, absent from this run\n", name)
+		ok = false
+	}
+	for _, name := range unknownNames(base, current) {
+		fmt.Printf("UNKNOWN  %-45s in this run, absent from the baseline\n", name)
+		ok = false
+	}
+	return ok
+}
+
 // updateBaseline rewrites the baseline from the current measurements,
 // preserving an existing file's threshold and note unless overridden.
 func updateBaseline(path string, threshold float64, current map[string]float64) {
 	base := benchcmp.Baseline{
-		Note:      "Absolute ns/op from the machine that last ran -update; regenerate from CI-representative hardware with: go test -run '^$' -bench '^Benchmark(IncrementalEval|FullRecomputeEval|ETCLayout|H2LLCandidates|Makespan|Move|Portfolio)' -benchtime 0.2s -count 3 . | go run ./cmd/benchguard -update",
+		Note:      "Absolute ns/op from the machine that last ran -update; regenerate from CI-representative hardware with: go test -run '^$' -bench '^Benchmark(IncrementalEval|FullRecomputeEval|ETCLayout|H2LLCandidates|Makespan|Move|Portfolio|SolverThroughput)' -benchtime 0.2s -count 3 . | go run ./cmd/benchguard -update",
 		Threshold: 0.25,
 		FloorNs:   benchcmp.DefaultFloorNs,
 	}

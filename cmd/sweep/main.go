@@ -48,8 +48,18 @@ func main() {
 		csvPath     = flag.String("csv", "", "also write the report as CSV to this file")
 		timeout     = flag.Duration("timeout", 30*time.Minute, "overall sweep deadline")
 		list        = flag.Bool("list-solvers", false, "list registered solvers and exit")
+		prof        = cliutil.ProfileFlags()
 	)
 	flag.Parse()
+
+	if err := prof.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	if *list {
 		for _, s := range gridsched.Solvers() {

@@ -1,0 +1,83 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler wires the standard -cpuprofile/-memprofile flags into a
+// command. Register before flag.Parse, Start after it, and defer Stop:
+//
+//	prof := cliutil.ProfileFlags()
+//	flag.Parse()
+//	if err := prof.Start(); err != nil { log.Fatal(err) }
+//	defer prof.Stop()
+//
+// Both flags default to off; when unset Start and Stop are no-ops, so
+// wiring the profiler costs nothing on ordinary runs. Stop is where the
+// heap profile is written (after a final GC, so it reflects live data
+// rather than transient garbage) — a command that exits through
+// os.Exit or log.Fatal after Start skips deferred calls and loses the
+// profiles, which is why Start/Stop errors are returned rather than
+// handled internally: the command decides how to exit.
+type Profiler struct {
+	cpuPath *string
+	memPath *string
+	cpuOut  *os.File
+}
+
+// ProfileFlags registers -cpuprofile and -memprofile on the default
+// FlagSet and returns the Profiler that drives them.
+func ProfileFlags() *Profiler {
+	return &Profiler{
+		cpuPath: flag.String("cpuprofile", "", "write a CPU profile to this file (view with go tool pprof)"),
+		memPath: flag.String("memprofile", "", "write a heap profile to this file on exit (view with go tool pprof)"),
+	}
+}
+
+// Start begins CPU profiling if -cpuprofile was set. Call after
+// flag.Parse.
+func (p *Profiler) Start() error {
+	if *p.cpuPath == "" {
+		return nil
+	}
+	f, err := os.Create(*p.cpuPath)
+	if err != nil {
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	p.cpuOut = f
+	return nil
+}
+
+// Stop ends CPU profiling and writes the heap profile if -memprofile
+// was set. Safe to call when profiling never started.
+func (p *Profiler) Stop() error {
+	if p.cpuOut != nil {
+		pprof.StopCPUProfile()
+		err := p.cpuOut.Close()
+		p.cpuOut = nil
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	if *p.memPath == "" {
+		return nil
+	}
+	f, err := os.Create(*p.memPath)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // the heap profile should show live data, not garbage
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}

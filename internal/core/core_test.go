@@ -519,8 +519,8 @@ func TestBlockDiversityBounds(t *testing.T) {
 	}
 	// Make all individuals identical: diversity 0.
 	for i := 1; i < 16; i++ {
-		pop.cells[i].s.CopyFrom(pop.cells[0].s)
-		pop.cells[i].fit = pop.cells[0].fit
+		pop.sched(i).CopyFrom(pop.sched(0))
+		pop.fit[i] = pop.fit[0]
 	}
 	if _, d := pop.blockDiversity(0, 16, nil); d != 0 {
 		t.Fatalf("identical population diversity %v, want 0", d)

@@ -9,19 +9,21 @@ import (
 	"gridsched/internal/schedule"
 )
 
-// individual is one population cell: a schedule, its cached fitness
-// (makespan), and the read-write lock that makes cross-block neighborhood
-// reads safe while another worker replaces the cell (§3.2).
-type individual struct {
-	mu  sync.RWMutex
-	s   *schedule.Schedule
-	fit float64
-}
-
-// population is the shared 2-D population storage with pluggable locking.
+// population is the shared 2-D population storage with pluggable
+// locking, laid out as a structure of arrays: the cells' genomes and
+// completion times live in one schedule.Arena (contiguous assignment
+// and CT planes), the cached fitnesses in one contiguous lane, and the
+// per-cell read-write locks — the paper's POSIX rwlocks (§3.2) — in
+// their own slice. Generation-scale sweeps (fitness scans, diversity
+// measures, block means) therefore stream sequential memory instead of
+// chasing one heap allocation per cell.
 type population struct {
-	cells []individual
-	mode  LockMode
+	arena *schedule.Arena
+	// fit caches each cell's fitness; guarded by the same lock as the
+	// cell's schedule.
+	fit  []float64
+	mus  []sync.RWMutex
+	mode LockMode
 	// global backs the GlobalMutex ablation mode.
 	global sync.Mutex
 }
@@ -30,39 +32,58 @@ type population struct {
 // unless disabled, cell 0 which receives the Min-min schedule (Table 1
 // seeds exactly one individual with Min-min), and — when a warm-start
 // schedule is supplied (Params.SeedSchedule) — the last cell, which
-// receives a clone of it. This covers both setup_pop and
-// initial_evaluation of Algorithm 2: fitness is computed on creation
-// with the engine's objective function.
+// receives a copy of it. This covers both setup_pop and
+// initial_evaluation of Algorithm 2: the random machines are drawn in
+// ascending cell-then-task order (the exact RNG consumption of the
+// historical per-cell NewRandom loop), the drawn assignment planes are
+// loaded through the batched bulk kernel, and fitness is computed with
+// the engine's objective function in cell order.
 func newPopulation(inst *etc.Instance, size int, r *rng.Rand, seedMinMin bool, warm *schedule.Schedule, mode LockMode, eval func(*schedule.Schedule) float64) *population {
 	if warm != nil && warm.Inst != inst {
 		warm = nil // foreign schedule: ignore rather than corrupt the population
 	}
-	p := &population{cells: make([]individual, size), mode: mode}
-	for i := range p.cells {
-		var s *schedule.Schedule
+	p := &population{
+		arena: schedule.NewArena(inst, size),
+		fit:   make([]float64, size),
+		mus:   make([]sync.RWMutex, size),
+		mode:  mode,
+	}
+	drawn := make([]*schedule.Schedule, 0, size)
+	for i := 0; i < size; i++ {
+		s := p.arena.At(i)
 		switch {
 		case i == size-1 && warm != nil:
-			s = warm.Clone()
+			s.CopyFrom(warm)
 		case i == 0 && seedMinMin:
-			s = heuristics.MinMin(inst)
+			s.CopyFrom(heuristics.MinMin(inst))
 		default:
-			s = schedule.NewRandom(inst, r)
+			for t := range s.S {
+				s.S[t] = r.Intn(inst.M)
+			}
+			drawn = append(drawn, s)
 		}
-		p.cells[i].s = s
-		p.cells[i].fit = eval(s)
+	}
+	schedule.BatchLoad(drawn)
+	for i := 0; i < size; i++ {
+		p.fit[i] = eval(p.arena.At(i))
 	}
 	return p
 }
 
-func (p *population) size() int { return len(p.cells) }
+func (p *population) size() int { return p.arena.Len() }
+
+// sched returns cell i's schedule (an arena view; the pointer is stable
+// for the population's lifetime). Access is subject to the same locking
+// protocol as fit.
+func (p *population) sched(i int) *schedule.Schedule { return p.arena.At(i) }
 
 // rlock acquires read access to cell i under the configured mode.
 func (p *population) rlock(i int) {
 	switch p.mode {
 	case PerCellRWMutex:
-		p.cells[i].mu.RLock()
+		p.mus[i].RLock()
 	case PerCellMutex:
-		p.cells[i].mu.Lock()
+		p.mus[i].Lock()
 	case GlobalMutex:
 		p.global.Lock()
 	case NoLock:
@@ -72,9 +93,9 @@ func (p *population) rlock(i int) {
 func (p *population) runlock(i int) {
 	switch p.mode {
 	case PerCellRWMutex:
-		p.cells[i].mu.RUnlock()
+		p.mus[i].RUnlock()
 	case PerCellMutex:
-		p.cells[i].mu.Unlock()
+		p.mus[i].Unlock()
 	case GlobalMutex:
 		p.global.Unlock()
 	case NoLock:
@@ -85,7 +106,7 @@ func (p *population) runlock(i int) {
 func (p *population) lock(i int) {
 	switch p.mode {
 	case PerCellRWMutex, PerCellMutex:
-		p.cells[i].mu.Lock()
+		p.mus[i].Lock()
 	case GlobalMutex:
 		p.global.Lock()
 	case NoLock:
@@ -95,7 +116,7 @@ func (p *population) lock(i int) {
 func (p *population) unlock(i int) {
 	switch p.mode {
 	case PerCellRWMutex, PerCellMutex:
-		p.cells[i].mu.Unlock()
+		p.mus[i].Unlock()
 	case GlobalMutex:
 		p.global.Unlock()
 	case NoLock:
@@ -106,7 +127,7 @@ func (p *population) unlock(i int) {
 // the non-atomic read the paper protects during selection.
 func (p *population) fitness(i int) float64 {
 	p.rlock(i)
-	f := p.cells[i].fit
+	f := p.fit[i]
 	p.runlock(i)
 	return f
 }
@@ -116,8 +137,8 @@ func (p *population) fitness(i int) float64 {
 // the protected parent read of the recombination step.
 func (p *population) snapshotInto(i int, dst *schedule.Schedule) float64 {
 	p.rlock(i)
-	dst.CopyFrom(p.cells[i].s)
-	f := p.cells[i].fit
+	dst.CopyFrom(p.arena.At(i))
+	f := p.fit[i]
 	p.runlock(i)
 	return f
 }
@@ -129,17 +150,18 @@ func (p *population) snapshotInto(i int, dst *schedule.Schedule) float64 {
 // a concurrent improvement cannot be stomped by a stale offspring.
 func (p *population) replaceIf(i int, policy interface{ Accepts(cur, off float64) bool }, cand *schedule.Schedule, candFit float64) bool {
 	p.lock(i)
-	ok := policy.Accepts(p.cells[i].fit, candFit)
+	ok := policy.Accepts(p.fit[i], candFit)
 	if ok {
-		p.cells[i].s.CopyFrom(cand)
-		p.cells[i].fit = candFit
+		p.arena.At(i).CopyFrom(cand)
+		p.fit[i] = candFit
 	}
 	p.unlock(i)
 	return ok
 }
 
 // meanFitnessRange averages the fitness of cells [start, end) under read
-// locks; used by the convergence recorder (Fig. 6).
+// locks; used by the convergence recorder (Fig. 6). The fitness lane is
+// contiguous, so the sweep streams one cache line per eight cells.
 func (p *population) meanFitnessRange(start, end int) float64 {
 	sum := 0.0
 	for i := start; i < end; i++ {
@@ -154,13 +176,15 @@ func (p *population) meanFitnessRange(start, end int) float64 {
 // when all individuals are identical and approaches 1 − 1/machines for a
 // uniformly random block. counts is reusable scratch of len ≥
 // tasks×machines (it is grown when too small); each cell is locked once.
+// The cells' assignment rows are consecutive segments of one plane, so
+// the count pass streams the block sequentially.
 func (p *population) blockDiversity(start, end int, counts []int) ([]int, float64) {
 	n := end - start
 	if n <= 0 {
 		return counts, 0
 	}
-	tasks := len(p.cells[start].s.S)
-	machines := len(p.cells[start].s.CT)
+	inst := p.arena.Inst()
+	tasks, machines := inst.T, inst.M
 	if cap(counts) < tasks*machines {
 		counts = make([]int, tasks*machines)
 	}
@@ -170,7 +194,7 @@ func (p *population) blockDiversity(start, end int, counts []int) ([]int, float6
 	}
 	for i := start; i < end; i++ {
 		p.rlock(i)
-		for t, m := range p.cells[i].s.S {
+		for t, m := range p.arena.At(i).S {
 			if m >= 0 {
 				counts[t*machines+m]++
 			}
@@ -195,17 +219,17 @@ func (p *population) blockDiversity(start, end int, counts []int) ([]int, float6
 func (p *population) best() (*schedule.Schedule, float64) {
 	bestIdx := 0
 	p.rlock(0)
-	bestFit := p.cells[0].fit
+	bestFit := p.fit[0]
 	p.runlock(0)
-	for i := 1; i < len(p.cells); i++ {
+	for i := 1; i < p.size(); i++ {
 		f := p.fitness(i)
 		if f < bestFit {
 			bestIdx, bestFit = i, f
 		}
 	}
 	p.rlock(bestIdx)
-	clone := p.cells[bestIdx].s.Clone()
-	fit := p.cells[bestIdx].fit
+	clone := p.arena.At(bestIdx).Clone()
+	fit := p.fit[bestIdx]
 	p.runlock(bestIdx)
 	return clone, fit
 }

@@ -40,12 +40,15 @@ func RunSyncContext(ctx context.Context, inst *etc.Instance, p Params) (*Result,
 	pop := newPopulation(inst, grid.Size(), initRNG, !p.DisableMinMinSeed, p.SeedSchedule, NoLock, p.fitness)
 	r := root.Split(1)
 
-	// Auxiliary generation buffer: offspring and their fitness.
+	// Auxiliary generation buffer: offspring and their fitness, laid
+	// out as one arena so the install sweep copies between contiguous
+	// planes.
+	auxArena := schedule.NewArena(inst, grid.Size())
 	aux := make([]*schedule.Schedule, grid.Size())
 	auxFit := make([]float64, grid.Size())
 	accepted := make([]bool, grid.Size())
 	for i := range aux {
-		aux[i] = schedule.New(inst)
+		aux[i] = auxArena.At(i)
 	}
 	p1 := schedule.New(inst)
 	p2 := schedule.New(inst)
@@ -70,8 +73,8 @@ func RunSyncContext(ctx context.Context, inst *etc.Instance, p Params) (*Result,
 	install := func(n int) {
 		for c := 0; c < n; c++ {
 			if accepted[c] {
-				pop.cells[c].s.CopyFrom(aux[c])
-				pop.cells[c].fit = auxFit[c]
+				pop.sched(c).CopyFrom(aux[c])
+				pop.fit[c] = auxFit[c]
 			}
 		}
 	}
@@ -107,14 +110,14 @@ loop:
 			neigh = p.Neighborhood.Neighbors(grid, cell, neigh)
 			cands = cands[:0]
 			for _, c := range neigh {
-				cands = append(cands, operators.Candidate{Cell: c, Fitness: pop.cells[c].fit})
+				cands = append(cands, operators.Candidate{Cell: c, Fitness: pop.fit[c]})
 			}
 			i1, i2 := p.Selector.Select(cands, r)
-			p1.CopyFrom(pop.cells[cands[i1].Cell].s)
+			p1.CopyFrom(pop.sched(cands[i1].Cell))
 			if i2 == i1 {
 				p2.CopyFrom(p1)
 			} else {
-				p2.CopyFrom(pop.cells[cands[i2].Cell].s)
+				p2.CopyFrom(pop.sched(cands[i2].Cell))
 			}
 			if r.Bool(p.CrossProb) {
 				p.Crossover.Cross(aux[cell], p1, p2, r)
@@ -129,7 +132,7 @@ loop:
 			}
 			auxFit[cell] = p.fitnessWith(aux[cell], &scratch)
 			eng.AddEvals(1)
-			accepted[cell] = p.Replacement.Accepts(pop.cells[cell].fit, auxFit[cell])
+			accepted[cell] = p.Replacement.Accepts(pop.fit[cell], auxFit[cell])
 		}
 		// Synchronous replacement: the whole generation installs at once.
 		install(grid.Size())

@@ -267,13 +267,51 @@ func (in *Instance) ETC(t, m int) float64 { return in.Col[m*in.T+t] }
 // fixed task.
 func (in *Instance) ETCRow(t, m int) float64 { return in.Row[t*in.M+m] }
 
-// MachineRow returns the slice of ETC values of every task on machine m.
-// The slice aliases the instance storage and must not be modified.
-func (in *Instance) MachineRow(m int) []float64 { return in.Col[m*in.T : (m+1)*in.T] }
+// TaskCosts returns the costs of task t on every machine — contiguous
+// in m over the row layout (Row[t*M : (t+1)*M]). Hot loops that sweep
+// machines for a fixed task (move scoring, best-completion scans) must
+// read through this slice instead of per-element ETC calls: the ETC
+// accessor walks the transposed layout with stride T, which is one
+// cache miss per machine on large instances, while this slice is one
+// sequential sweep. The slice aliases the instance storage and must not
+// be modified.
+func (in *Instance) TaskCosts(t int) []float64 { return in.Row[t*in.M : (t+1)*in.M] }
 
-// TaskRow returns the slice of ETC values of task t on every machine.
-// The slice aliases the instance storage and must not be modified.
-func (in *Instance) TaskRow(t int) []float64 { return in.Row[t*in.M : (t+1)*in.M] }
+// MachineCosts returns the costs of every task on machine m —
+// contiguous in t over the transposed layout (Col[m*T : (m+1)*T]), the
+// paper's §3.3 machine-major sweep. Hot loops that walk tasks for a
+// fixed machine (completion-time sweeps, backlog estimates) read
+// through this slice. The slice aliases the instance storage and must
+// not be modified.
+func (in *Instance) MachineCosts(m int) []float64 { return in.Col[m*in.T : (m+1)*in.T] }
+
+// TaskBlock is the tile width, in tasks, of the blocked machine-major
+// view: 1024 tasks keep one machine's cost block (8 KB) plus the same
+// block of an assignment vector (8 KB) resident in L1 together with the
+// per-machine completion-time lanes, so a blocked sweep re-reads the
+// assignment block from cache across all M machine passes.
+const TaskBlock = 1024
+
+// MachineCostsBlock returns machine m's costs for tasks [lo, hi) — the
+// blocked machine-major view for large T. Sweeping machines over one
+// task block at a time (instead of each machine's full T-length column)
+// keeps the block-shared state cache-resident across the M inner
+// sweeps; see schedule's bulk-load and batch-evaluation kernels for the
+// canonical loop shape. The slice aliases the instance storage and must
+// not be modified.
+func (in *Instance) MachineCostsBlock(m, lo, hi int) []float64 {
+	return in.Col[m*in.T+lo : m*in.T+hi]
+}
+
+// MachineRow is MachineCosts under its historical name.
+//
+// Deprecated: use MachineCosts.
+func (in *Instance) MachineRow(m int) []float64 { return in.MachineCosts(m) }
+
+// TaskRow is TaskCosts under its historical name.
+//
+// Deprecated: use TaskCosts.
+func (in *Instance) TaskRow(t int) []float64 { return in.TaskCosts(t) }
 
 // Validate checks structural invariants: positive dimensions, matching
 // buffer sizes, strictly positive finite entries, mutually transposed
@@ -384,13 +422,17 @@ func (in *Instance) Blazewicz() string {
 
 // isConsistent reports whether every machine pair is ordered identically
 // across all tasks (the Braun consistency property), with early exit on
-// the first contradiction.
+// the first contradiction. Each pair is compared through the two
+// machines' contiguous cost columns, so the inner loop is two
+// sequential sweeps instead of strided per-element reads.
 func (in *Instance) isConsistent() bool {
 	for a := 0; a < in.M; a++ {
+		ca := in.MachineCosts(a)
 		for b := a + 1; b < in.M; b++ {
+			cb := in.MachineCosts(b)
 			aFaster, bFaster := false, false
-			for t := 0; t < in.T; t++ {
-				va, vb := in.ETC(t, a), in.ETC(t, b)
+			for t, va := range ca {
+				vb := cb[t]
 				if va < vb {
 					aFaster = true
 				} else if va > vb {

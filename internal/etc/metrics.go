@@ -43,35 +43,43 @@ func ComputeMetrics(in *Instance) Metrics {
 	m.MeanETC = sum / n
 	m.StdETC = math.Sqrt(math.Max(0, sumSq/n-m.MeanETC*m.MeanETC))
 
-	// Task heterogeneity: CV of per-task means.
+	// Task heterogeneity (CV of per-task means), machine heterogeneity
+	// (mean per-row CV) and the ideal-makespan lower bound all sweep
+	// one task's contiguous cost row at a time, so a single pass over
+	// the row layout feeds all three.
 	taskMeans := make([]float64, in.T)
+	cvSum := 0.0
+	minSum := 0.0
 	for t := 0; t < in.T; t++ {
+		tc := in.TaskCosts(t)
 		rowSum := 0.0
-		for m2 := 0; m2 < in.M; m2++ {
-			rowSum += in.ETCRow(t, m2)
+		best := math.Inf(1)
+		for _, v := range tc {
+			rowSum += v
+			if v < best {
+				best = v
+			}
 		}
 		taskMeans[t] = rowSum / float64(in.M)
+		cvSum += coefficientOfVariation(tc)
+		minSum += best
 	}
 	m.TaskHeterogeneity = coefficientOfVariation(taskMeans)
-
-	// Machine heterogeneity: mean per-row CV.
-	cvSum := 0.0
-	row := make([]float64, in.M)
-	for t := 0; t < in.T; t++ {
-		copy(row, in.TaskRow(t))
-		cvSum += coefficientOfVariation(row)
-	}
 	m.MachineHeterogeneity = cvSum / float64(in.T)
 
 	// Consistency: fraction of machine pairs ordered identically on
-	// every task.
+	// every task, each pair compared through the two machines'
+	// contiguous cost columns (layout-friendly: the scan is two
+	// sequential sweeps instead of stride-T reads).
 	consistentPairs, totalPairs := 0, 0
 	for a := 0; a < in.M; a++ {
+		ca := in.MachineCosts(a)
 		for b := a + 1; b < in.M; b++ {
+			cb := in.MachineCosts(b)
 			totalPairs++
 			aFaster, bFaster := false, false
-			for t := 0; t < in.T; t++ {
-				va, vb := in.ETC(t, a), in.ETC(t, b)
+			for t, va := range ca {
+				vb := cb[t]
 				if va < vb {
 					aFaster = true
 				} else if va > vb {
@@ -92,17 +100,6 @@ func ComputeMetrics(in *Instance) Metrics {
 		m.ConsistencyIndex = 1
 	}
 
-	// Ideal makespan lower bound.
-	minSum := 0.0
-	for t := 0; t < in.T; t++ {
-		best := math.Inf(1)
-		for m2 := 0; m2 < in.M; m2++ {
-			if v := in.ETC(t, m2); v < best {
-				best = v
-			}
-		}
-		minSum += best
-	}
 	m.IdealMakespan = minSum / float64(in.M)
 	return m
 }

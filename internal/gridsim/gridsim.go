@@ -85,12 +85,13 @@ func (MCTRescheduler) Place(inst *etc.Instance, tasks []int, up []bool, free []f
 	out := make([]int, len(tasks))
 	avail := append([]float64(nil), free...)
 	for i, t := range tasks {
+		tc := inst.TaskCosts(t)
 		best, bestCT := -1, math.Inf(1)
-		for m := 0; m < inst.M; m++ {
+		for m, cost := range tc {
 			if !up[m] {
 				continue
 			}
-			if ct := avail[m] + inst.ETC(t, m); ct < bestCT {
+			if ct := avail[m] + cost; ct < bestCT {
 				best, bestCT = m, ct
 			}
 		}
@@ -128,12 +129,12 @@ func (MinMinRescheduler) Place(inst *etc.Instance, tasks []int, up []bool, free 
 		bestIdx, bestMac := -1, -1
 		bestCT := math.Inf(1)
 		for _, ri := range remaining {
-			t := tasks[ri]
-			for m := 0; m < inst.M; m++ {
+			tc := inst.TaskCosts(tasks[ri])
+			for m, cost := range tc {
 				if !up[m] {
 					continue
 				}
-				if ct := avail[m] + inst.ETC(t, m); ct < bestCT {
+				if ct := avail[m] + cost; ct < bestCT {
 					bestIdx, bestMac, bestCT = ri, m, ct
 				}
 			}
@@ -405,8 +406,11 @@ func machineBacklogEnd(ms *machineState, inst *etc.Instance, now float64, m int)
 	if ms.runTask >= 0 {
 		end = math.Max(end, ms.runEnd)
 	}
+	// Fixed machine, varying task: the machine's contiguous cost column
+	// makes this a gather over one sequential slice.
+	mc := inst.MachineCosts(m)
 	for _, t := range ms.queue {
-		end += inst.ETC(t, m)
+		end += mc[t]
 	}
 	return end
 }

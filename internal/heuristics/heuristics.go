@@ -46,11 +46,14 @@ func Names() []string {
 }
 
 // bestCompletion returns the machine minimizing CT[m] + ETC(t, m) and
-// that minimal completion time.
+// that minimal completion time, sweeping the task's contiguous cost row
+// against the completion-time vector.
 func bestCompletion(s *schedule.Schedule, t int) (mac int, ct float64) {
-	mac, ct = 0, s.CT[0]+s.Inst.ETC(t, 0)
-	for m := 1; m < s.Inst.M; m++ {
-		if c := s.CT[m] + s.Inst.ETC(t, m); c < ct {
+	tc := s.Inst.TaskCosts(t)
+	cts := s.CT[:len(tc)]
+	mac, ct = 0, cts[0]+tc[0]
+	for m := 1; m < len(tc); m++ {
+		if c := cts[m] + tc[m]; c < ct {
 			mac, ct = m, c
 		}
 	}
@@ -135,9 +138,10 @@ func MCT(inst *etc.Instance) *schedule.Schedule {
 func MET(inst *etc.Instance) *schedule.Schedule {
 	s := schedule.New(inst)
 	for t := 0; t < inst.T; t++ {
+		tc := inst.TaskCosts(t)
 		best := 0
-		for m := 1; m < inst.M; m++ {
-			if inst.ETC(t, m) < inst.ETC(t, best) {
+		for m := 1; m < len(tc); m++ {
+			if tc[m] < tc[best] {
 				best = m
 			}
 		}
@@ -192,8 +196,9 @@ func Sufferage(inst *etc.Instance) *schedule.Schedule {
 			if c.bestMac < 0 {
 				c.best, c.second = math.Inf(1), math.Inf(1)
 				c.bestMac, c.secondMac = -1, -1
-				for m := 0; m < inst.M; m++ {
-					v := s.CT[m] + inst.ETC(t, m)
+				tc := inst.TaskCosts(t)
+				for m, cost := range tc {
+					v := s.CT[m] + cost
 					if v < c.best {
 						c.second, c.secondMac = c.best, c.bestMac
 						c.best, c.bestMac = v, m
@@ -236,8 +241,8 @@ func LJFRSJFR(inst *etc.Instance) *schedule.Schedule {
 	jobs := make([]job, inst.T)
 	for t := 0; t < inst.T; t++ {
 		sum := 0.0
-		for m := 0; m < inst.M; m++ {
-			sum += inst.ETC(t, m)
+		for _, cost := range inst.TaskCosts(t) {
+			sum += cost
 		}
 		jobs[t] = job{task: t, size: sum / float64(inst.M)}
 	}

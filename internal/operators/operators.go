@@ -359,16 +359,28 @@ type H2LL struct {
 // Name implements LocalSearch.
 func (h H2LL) Name() string { return fmt.Sprintf("h2ll/%d", h.Iterations) }
 
-// h2llPool holds reusable candidate buffers so Apply — called once per
-// offspring on every worker — stays off the allocator.
-var h2llPool = sync.Pool{New: func() any { return new([]int) }}
+// h2llScratch is the pooled per-call state of H2LL.Apply: the scratch
+// arena behind the batched move-scoring and rank-selection kernels.
+// Pooling keeps Apply — called once per offspring on every worker —
+// off the allocator.
+type h2llScratch struct {
+	sc schedule.Scratch
+}
+
+var h2llPool = sync.Pool{New: func() any { return new(h2llScratch) }}
 
 // Apply implements LocalSearch. Each iteration reads the makespan
-// machine in O(1) from the schedule's max index and selects the
-// Candidates least-loaded machines by partial selection
-// (O(machines·log Candidates)) instead of fully sorting the machine
-// vector, with a pooled scratch buffer instead of a per-call
-// allocation.
+// machine in O(1) from the schedule's max index, then picks the move in
+// three flat O(machines) passes: a quickselect for the rank-Candidates
+// threshold machine, one contiguous move-scoring sweep, and one scan
+// over the completion-time lane. The historical implementation
+// materialized the sorted least-loaded candidate list (heap selection
+// plus heapsort) and walked it in order with a strict comparison; the
+// first strictly-smallest score along that ascending (CT, index) walk
+// is exactly the lexicographic minimum of (score, CT, index) over the
+// candidate set, so the scan below — membership by two comparisons
+// against the threshold machine, winner by lexicographic key — selects
+// the bit-identical move without building the list.
 func (h H2LL) Apply(s *schedule.Schedule, r *rng.Rand) int {
 	if h.Iterations <= 0 {
 		return 0
@@ -384,8 +396,8 @@ func (h H2LL) Apply(s *schedule.Schedule, r *rng.Rand) int {
 	if ncand < 1 {
 		return 0
 	}
-	bufp := h2llPool.Get().(*[]int)
-	defer h2llPool.Put(bufp)
+	ws := h2llPool.Get().(*h2llScratch)
+	defer h2llPool.Put(ws)
 	moves := 0
 	for it := 0; it < h.Iterations; it++ {
 		worst, worstCT := s.MakespanMachine()
@@ -396,17 +408,26 @@ func (h H2LL) Apply(s *schedule.Schedule, r *rng.Rand) int {
 			// the same machine.
 			break
 		}
-		cand := s.LeastLoaded(*bufp, ncand)
-		*bufp = cand
+		// thr is the first machine EXCLUDED from the least-loaded set:
+		// a machine is a candidate iff machineLess(mac, thr), i.e. its
+		// (CT, index) key is below the threshold's.
+		thr := ws.sc.LoadRank(s, ncand)
+		thrCT := s.CT[thr]
+		scores := ws.sc.MoveScores(s, task)
 		bestScore := worstCT
 		bestMac := -1
-		for _, mac := range cand {
-			// mac can tie-collide with the makespan machine itself; the
-			// strict < (ETC is positive) keeps self-moves impossible.
-			newScore := s.CT[mac] + s.Inst.ETC(task, mac)
-			if newScore < bestScore {
-				bestScore = newScore
-				bestMac = mac
+		bestCT := 0.0
+		for mac, ct := range s.CT {
+			if ct > thrCT || (ct == thrCT && mac >= thr) {
+				continue // not among the ncand least loaded
+			}
+			// A candidate can tie-collide with the makespan machine
+			// itself; the strict < against worstCT (ETC is positive)
+			// keeps self-moves impossible.
+			newScore := scores[mac]
+			if newScore < bestScore ||
+				(newScore == bestScore && bestMac >= 0 && ct < bestCT) {
+				bestScore, bestMac, bestCT = newScore, mac, ct
 			}
 		}
 		if bestMac >= 0 {

@@ -96,13 +96,24 @@ func New(inst *etc.Instance) *Schedule {
 
 // NewRandom returns a complete schedule assigning every task to a machine
 // drawn uniformly at random; this is how the paper initializes all but
-// one individual of the population.
+// one individual of the population. The machines are drawn in ascending
+// task order — the exact RNG consumption of a per-task Assign loop —
+// and CT is then built by the bulk-load kernel, which is bit-identical
+// to sequential Assign calls (see loadFromS).
 func NewRandom(inst *etc.Instance, r *rng.Rand) *Schedule {
 	s := New(inst)
-	for t := 0; t < inst.T; t++ {
-		s.Assign(t, r.Intn(inst.M))
-	}
+	s.Randomize(r)
 	return s
+}
+
+// Randomize re-assigns every task to a uniformly random machine in
+// place — NewRandom for preallocated (arena) schedules, with the same
+// RNG consumption and bit-identical resulting state.
+func (s *Schedule) Randomize(r *rng.Rand) {
+	for t := range s.S {
+		s.S[t] = r.Intn(s.Inst.M)
+	}
+	s.loadFromS()
 }
 
 // FromAssignment builds a schedule from an existing assignment vector
@@ -113,16 +124,85 @@ func FromAssignment(inst *etc.Instance, assign []int) (*Schedule, error) {
 		return nil, fmt.Errorf("schedule: assignment length %d, want %d", len(assign), inst.T)
 	}
 	s := New(inst)
-	for t, m := range assign {
-		if m == Unassigned {
-			continue
-		}
-		if m < 0 || m >= inst.M {
-			return nil, fmt.Errorf("schedule: task %d assigned to invalid machine %d", t, m)
-		}
-		s.Assign(t, m)
+	if err := s.SetAssignments(assign); err != nil {
+		return nil, err
 	}
 	return s, nil
+}
+
+// SetAssignments overwrites the whole assignment vector at once and
+// rebuilds CT, the compensation terms and the max index with the
+// bulk-load kernel. Entries may be Unassigned. The result is
+// bit-identical to clearing s and Assigning each task in ascending
+// order; an invalid vector is rejected without modifying s.
+func (s *Schedule) SetAssignments(assign []int) error {
+	if len(assign) != s.Inst.T {
+		return fmt.Errorf("schedule: assignment length %d, want %d", len(assign), s.Inst.T)
+	}
+	for t, m := range assign {
+		if m != Unassigned && (m < 0 || m >= s.Inst.M) {
+			return fmt.Errorf("schedule: task %d assigned to invalid machine %d", t, m)
+		}
+	}
+	copy(s.S, assign)
+	s.loadFromS()
+	return nil
+}
+
+// blockedKernelMaxM bounds the machine count up to which the bulk-load
+// kernels use the blocked machine-major sweep: its M passes per task
+// block read the whole T×M matrix, which beats the single task-ordered
+// row pass (sequential streaming vs one strided read per task) only
+// while the matrix rows are thin.
+const blockedKernelMaxM = 32
+
+// accumulateAssign folds the cost of every assigned task of a into the
+// compensated completion-time lanes (ct, lo), which the caller has
+// initialized (typically to the ready times and zero). Per machine the
+// tasks are accumulated in ascending order — the same order sequential
+// Assign calls in ascending t produce — so the resulting pairs are
+// bit-identical to the incremental path regardless of which sweep runs.
+//
+// Two sweeps implement that order: for small machine counts a blocked
+// machine-major kernel streams each MachineCostsBlock sequentially
+// while the assignment block stays cache-resident across the M machine
+// passes (the paper's transposed-layout win); for large M that sweep
+// would touch all T×M entries, so a single task-ordered pass over the
+// row layout reads only the T assigned entries instead.
+func accumulateAssign(inst *etc.Instance, a []int, ct, lo []float64) {
+	if inst.M <= blockedKernelMaxM {
+		for blo := 0; blo < inst.T; blo += etc.TaskBlock {
+			bhi := min(blo+etc.TaskBlock, inst.T)
+			blk := a[blo:bhi]
+			for m := 0; m < inst.M; m++ {
+				mc := inst.MachineCostsBlock(m, blo, bhi)
+				cth, ctl := ct[m], lo[m]
+				for i, mm := range blk {
+					if mm == m {
+						cth, ctl = accAdd(cth, ctl, mc[i])
+					}
+				}
+				ct[m], lo[m] = cth, ctl
+			}
+		}
+		return
+	}
+	row, m := inst.Row, inst.M
+	for t, mm := range a {
+		if mm != Unassigned {
+			ct[mm], lo[mm] = accAdd(ct[mm], lo[mm], row[t*m+mm])
+		}
+	}
+}
+
+// loadFromS rebuilds CT, the compensation terms and the max index from
+// the current S, bit-identically to assigning every task incrementally
+// in ascending order (see accumulateAssign for why).
+func (s *Schedule) loadFromS() {
+	copy(s.CT, s.Inst.Ready)
+	clear(s.ctLo)
+	accumulateAssign(s.Inst, s.S, s.CT, s.ctLo)
+	s.rebuildTree()
 }
 
 // maxOf returns the index of the machine with the larger completion
@@ -171,20 +251,27 @@ func (s *Schedule) fixup(m int) {
 	}
 }
 
-// accumulate adds v to machine m's compensated completion time without
-// repairing the tournament tree (the caller does, or rebuilds). The
-// error-free transformation is Knuth's TwoSum followed by a
-// renormalization, so the pair (CT[m], ctLo[m]) absorbs the rounding
-// error of every update instead of discarding it.
-func (s *Schedule) accumulate(m int, v float64) {
-	hi, lo := s.CT[m], s.ctLo[m]
+// accAdd performs one compensated (double-double) accumulation step on
+// the pair (hi, lo) and returns the renormalized result. The error-free
+// transformation is Knuth's TwoSum followed by a renormalization, so
+// the pair absorbs the rounding error of every update instead of
+// discarding it. It is the one accumulation primitive shared by the
+// incremental path and the bulk/batched kernels — same operations in
+// the same order, so any per-machine update sequence yields bit-equal
+// pairs on either path.
+func accAdd(hi, lo, v float64) (float64, float64) {
 	sum := hi + v
 	bv := sum - hi
 	err := (hi - (sum - bv)) + (v - bv)
 	err += lo
 	nh := sum + err
-	s.ctLo[m] = err - (nh - sum)
-	s.CT[m] = nh
+	return nh, err - (nh - sum)
+}
+
+// accumulate adds v to machine m's compensated completion time without
+// repairing the tournament tree (the caller does, or rebuilds).
+func (s *Schedule) accumulate(m int, v float64) {
+	s.CT[m], s.ctLo[m] = accAdd(s.CT[m], s.ctLo[m], v)
 }
 
 // add applies one compensated update to machine m and repairs the max
@@ -204,7 +291,7 @@ func (s *Schedule) Assign(t, m int) {
 		panic(fmt.Sprintf("schedule: Assign on already-assigned task %d", t))
 	}
 	s.S[t] = m
-	s.add(m, s.Inst.ETC(t, m))
+	s.add(m, s.Inst.TaskCosts(t)[m])
 }
 
 // Unassign removes task t from its machine, updating CT and the
@@ -215,23 +302,27 @@ func (s *Schedule) Unassign(t int) {
 	if m == Unassigned {
 		return
 	}
-	s.add(m, -s.Inst.ETC(t, m))
+	s.add(m, -s.Inst.TaskCosts(t)[m])
 	s.S[t] = Unassigned
 }
 
 // Move reassigns task t to machine m with an O(log machines) CT and
 // index update. Moving a task to its current machine is a no-op. Moving
-// an unassigned task is equivalent to Assign.
+// an unassigned task is equivalent to Assign. Both ETC reads go through
+// the task's cost row, so source and destination costs usually share a
+// cache line instead of sitting a column apart in the transposed
+// layout.
 func (s *Schedule) Move(t, m int) {
 	from := s.S[t]
 	if from == m {
 		return
 	}
+	tc := s.Inst.TaskCosts(t)
 	if from != Unassigned {
-		s.add(from, -s.Inst.ETC(t, from))
+		s.add(from, -tc[from])
 	}
 	s.S[t] = m
-	s.add(m, s.Inst.ETC(t, m))
+	s.add(m, tc[m])
 }
 
 // SetAssignment overwrites the assignment of task t like Move but
@@ -285,6 +376,16 @@ func (s *Schedule) MakespanMachine() (machine int, ct float64) {
 type Scratch struct {
 	intBuf   []int
 	floatBuf []float64
+
+	// Lanes of the batched kernels (see batch.go). They are separate
+	// from intBuf/floatBuf so BatchEvaluate and MoveScores can be
+	// interleaved with FlowtimeInto and the Ints/Floats helpers without
+	// clobbering each other.
+	batchCT []float64
+	batchLo []float64
+	batchMk []float64
+	moveBuf []float64
+	rankBuf []int
 }
 
 // Ints returns a length-n int buffer backed by the arena (contents
@@ -346,11 +447,12 @@ func (s *Schedule) FlowtimeInto(sc *Scratch) float64 {
 		offs[k+1] += offs[k]
 	}
 	loads := sc.Floats(assigned)
+	row := s.Inst.Row
 	for t, mac := range s.S {
 		if mac == Unassigned {
 			continue
 		}
-		loads[offs[mac]] = s.Inst.ETC(t, mac)
+		loads[offs[mac]] = row[t*m+mac]
 		offs[mac]++
 	}
 	total := 0.0
@@ -371,18 +473,9 @@ func (s *Schedule) FlowtimeInto(sc *Scratch) float64 {
 // RecomputeCT rebuilds CT (and the compensation terms and the max
 // index) from scratch; it exists to validate the incremental
 // bookkeeping and to measure how much the incremental scheme saves
-// (ablation benchmark 3 in DESIGN.md).
+// (ablation benchmark 3 in DESIGN.md). It is the bulk-load kernel.
 func (s *Schedule) RecomputeCT() {
-	copy(s.CT, s.Inst.Ready)
-	for m := range s.ctLo {
-		s.ctLo[m] = 0
-	}
-	for t, m := range s.S {
-		if m != Unassigned {
-			s.accumulate(m, s.Inst.ETC(t, m))
-		}
-	}
-	s.rebuildTree()
+	s.loadFromS()
 }
 
 // MakespanFull evaluates the makespan without trusting CT, recomputing
@@ -392,9 +485,10 @@ func (s *Schedule) RecomputeCT() {
 func (s *Schedule) MakespanFull() float64 {
 	ct := make([]float64, s.Inst.M)
 	copy(ct, s.Inst.Ready)
-	for t, m := range s.S {
-		if m != Unassigned {
-			ct[m] += s.Inst.ETC(t, m)
+	row, m := s.Inst.Row, s.Inst.M
+	for t, mm := range s.S {
+		if mm != Unassigned {
+			ct[mm] += row[t*m+mm]
 		}
 	}
 	max := 0.0
@@ -677,6 +771,55 @@ func (s *Schedule) LeastLoaded(dst []int, n int) []int {
 	}
 	s.sortMachines(dst)
 	return dst
+}
+
+// LoadRank returns the machine of rank k (0-indexed) in the machineLess
+// order — exactly the machine LeastLoaded(nil, k+1)[k] reports, found by
+// quickselect in O(M) expected time instead of the heap's O(M·log k).
+// Because machineLess is a total order, the rank-k machine is unique and
+// the k least-loaded machines are exactly those with machineLess(m,
+// LoadRank(k)): callers (H2LL's candidate scan) can test membership in
+// the least-loaded set with two flat comparisons per machine instead of
+// materializing the sorted candidate list. k must be in [0, M).
+func (sc *Scratch) LoadRank(s *Schedule, k int) int {
+	m := len(s.CT)
+	if k < 0 || k >= m {
+		panic(fmt.Sprintf("schedule: LoadRank %d outside [0, %d)", k, m))
+	}
+	if cap(sc.rankBuf) < m {
+		sc.rankBuf = make([]int, m)
+	}
+	idx := sc.rankBuf[:m]
+	for i := range idx {
+		idx[i] = i
+	}
+	lo, hi := 0, m-1
+	for lo < hi {
+		p := idx[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for s.machineLess(idx[i], p) {
+				i++
+			}
+			for s.machineLess(p, idx[j]) {
+				j--
+			}
+			if i <= j {
+				idx[i], idx[j] = idx[j], idx[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return idx[k]
+		}
+	}
+	return idx[k]
 }
 
 // Utilization is the fraction of machine time spent computing between

@@ -1,0 +1,107 @@
+package tabu
+
+import (
+	"testing"
+
+	"gridsched/internal/etc"
+	"gridsched/internal/rng"
+	"gridsched/internal/schedule"
+)
+
+// referenceSelectMove is the historical per-element tabu move selection,
+// kept as the scalar reference for selectMove: identical scan order and
+// comparisons, but scoring each destination with a strided ETC read
+// instead of the batched MoveScores row sweep.
+func referenceSelectMove(s *schedule.Schedule, cand, tabuUntil []int, it, worst int, worstCT, bestFit float64) (int, int) {
+	bestTask, bestMac := -1, -1
+	bestScore := worstCT
+	aspired := false
+	for _, task := range cand {
+		tabu := tabuUntil[task] >= it
+		for mac := 0; mac < s.Inst.M; mac++ {
+			if mac == worst {
+				continue
+			}
+			score := s.CT[mac] + s.Inst.ETC(task, mac)
+			if tabu {
+				if score >= bestFit {
+					continue
+				}
+				if score < bestScore || !aspired && bestTask < 0 {
+					bestTask, bestMac, bestScore, aspired = task, mac, score, true
+				}
+				continue
+			}
+			if score < bestScore {
+				bestTask, bestMac, bestScore = task, mac, score
+			}
+		}
+	}
+	return bestTask, bestMac
+}
+
+// TestSelectMoveMatchesReference property-tests the batched tabu move
+// selection against the scalar reference over random schedules, random
+// candidate sets and random tabu states — including aspiration-only
+// configurations where every candidate is tabu.
+func TestSelectMoveMatchesReference(t *testing.T) {
+	shapes := []struct{ tasks, machines int }{
+		{32, 2},
+		{128, 8},
+		{256, 16},
+		{300, 48},
+	}
+	var sc schedule.Scratch
+	for _, sh := range shapes {
+		in, err := etc.Generate(etc.GenSpec{
+			Class:    etc.Class{Consistency: etc.Inconsistent, TaskHet: etc.High, MachineHet: etc.High},
+			Tasks:    sh.tasks,
+			Machines: sh.machines,
+			Seed:     uint64(11*sh.tasks + sh.machines),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(uint64(500*sh.tasks + sh.machines))
+		s := schedule.NewRandom(in, r)
+		tabuUntil := make([]int, in.T)
+		var taskBuf []int
+		for trial := 0; trial < 32; trial++ {
+			worst, worstCT := s.MakespanMachine()
+			taskBuf = s.TasksOn(worst, taskBuf[:0])
+			if len(taskBuf) == 0 {
+				break
+			}
+			if len(taskBuf) > 8 {
+				taskBuf = taskBuf[:8]
+			}
+			// Random tabu state: roughly half the candidates tabu, and the
+			// occasional trial with everything tabu (aspiration-only).
+			it := 10
+			for _, task := range taskBuf {
+				if trial%8 == 7 || r.Bool(0.5) {
+					tabuUntil[task] = it + r.Intn(5)
+				} else {
+					tabuUntil[task] = 0
+				}
+			}
+			// Vary the aspiration level around the current makespan so all
+			// three branches (no aspiration, tight, loose) are exercised.
+			bestFit := worstCT * (0.9 + 0.2*float64(trial%3)/2)
+
+			gt, gm := selectMove(&sc, s, taskBuf, tabuUntil, it, worst, worstCT, bestFit)
+			wt, wm := referenceSelectMove(s, taskBuf, tabuUntil, it, worst, worstCT, bestFit)
+			if gt != wt || gm != wm {
+				t.Fatalf("%dx%d trial %d: selectMove = (%d, %d), reference = (%d, %d)",
+					sh.tasks, sh.machines, trial, gt, gm, wt, wm)
+			}
+
+			// Advance the schedule so trials see fresh states.
+			if gt >= 0 {
+				s.Move(gt, gm)
+			} else {
+				s.Move(taskBuf[0], r.Intn(in.M))
+			}
+		}
+	}
+}

@@ -52,12 +52,14 @@ func (ts Search) candidateTasks() int {
 }
 
 // workspace is the reusable per-call state of Apply: the tabu list, the
-// candidate-task buffer and the incumbent copy. Pooling it matters
-// because cMA+LTH calls Apply once per offspring on every worker.
+// candidate-task buffer, the incumbent copy and the scratch arena the
+// batched move-scoring kernel writes into. Pooling it matters because
+// cMA+LTH calls Apply once per offspring on every worker.
 type workspace struct {
 	tabuUntil []int
 	taskBuf   []int
 	best      *schedule.Schedule
+	sc        schedule.Scratch
 }
 
 var workspacePool = sync.Pool{New: func() any { return new(workspace) }}
@@ -114,36 +116,7 @@ func (ts Search) Apply(s *schedule.Schedule, r *rng.Rand) int {
 			cand = cand[:ts.candidateTasks()]
 		}
 
-		// Pick the move minimizing the new completion time of the
-		// destination machine among non-tabu moves; a tabu move is
-		// allowed only under the aspiration criterion (it would beat the
-		// best makespan seen so far).
-		bestTask, bestMac := -1, -1
-		bestScore := worstCT // any move below the makespan is attractive
-		aspired := false
-		for _, task := range cand {
-			tabu := tabuUntil[task] >= it
-			for mac := 0; mac < m; mac++ {
-				if mac == worst {
-					continue
-				}
-				score := s.CT[mac] + s.Inst.ETC(task, mac)
-				if tabu {
-					// Aspiration: accept a tabu move only if it yields a
-					// schedule strictly better than the global best.
-					if score >= bestFit {
-						continue
-					}
-					if score < bestScore || !aspired && bestTask < 0 {
-						bestTask, bestMac, bestScore, aspired = task, mac, score, true
-					}
-					continue
-				}
-				if score < bestScore {
-					bestTask, bestMac, bestScore = task, mac, score
-				}
-			}
-		}
+		bestTask, bestMac := selectMove(&ws.sc, s, cand, tabuUntil, it, worst, worstCT, bestFit)
 		if bestTask < 0 {
 			// No admissible improving move: diversify by relocating a
 			// random candidate task to a random machine (still respecting
@@ -170,4 +143,47 @@ func (ts Search) Apply(s *schedule.Schedule, r *rng.Rand) int {
 		s.CopyFrom(best)
 	}
 	return improvements
+}
+
+// selectMove picks one tabu iteration's move: among the candidate tasks
+// (all on the makespan machine worst, whose completion time is worstCT),
+// the relocation minimizing the destination machine's new completion
+// time, where a tabu task is admissible only under the aspiration
+// criterion — its new completion time strictly beats the best makespan
+// seen so far (bestFit). It returns -1, -1 when no admissible move
+// improves on worstCT.
+//
+// Scoring goes through the batched MoveScores kernel — one contiguous
+// row sweep per task — and the scan consumes the scores in the same
+// machine order and with the same strict comparisons as the historical
+// per-element ETC loop, so the selected move is bit-identical; the
+// equivalence is property-tested against a scalar reference.
+func selectMove(sc *schedule.Scratch, s *schedule.Schedule, cand, tabuUntil []int, it, worst int, worstCT, bestFit float64) (int, int) {
+	bestTask, bestMac := -1, -1
+	bestScore := worstCT // any move below the makespan is attractive
+	aspired := false
+	for _, task := range cand {
+		tabu := tabuUntil[task] >= it
+		scores := sc.MoveScores(s, task)
+		for mac, score := range scores {
+			if mac == worst {
+				continue
+			}
+			if tabu {
+				// Aspiration: accept a tabu move only if it yields a
+				// schedule strictly better than the global best.
+				if score >= bestFit {
+					continue
+				}
+				if score < bestScore || !aspired && bestTask < 0 {
+					bestTask, bestMac, bestScore, aspired = task, mac, score, true
+				}
+				continue
+			}
+			if score < bestScore {
+				bestTask, bestMac, bestScore = task, mac, score
+			}
+		}
+	}
+	return bestTask, bestMac
 }
