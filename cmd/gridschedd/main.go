@@ -6,16 +6,24 @@
 //
 //	gridschedd -addr :8080 -workers 4 -queue 64
 //
-// Endpoints (see the README's "Running as a service" for curl
-// examples):
+// Endpoints (see the README's "Running as a service" and
+// "Observability" for curl examples):
 //
-//	POST   /v1/jobs       submit a solve job
-//	GET    /v1/jobs       list retained jobs
-//	GET    /v1/jobs/{id}  poll status / fetch the result
-//	DELETE /v1/jobs/{id}  cancel
-//	GET    /v1/solvers    registered solver names
-//	GET    /v1/stats      throughput and latency counters
-//	GET    /healthz       liveness
+//	POST   /v1/jobs             submit a solve job
+//	GET    /v1/jobs             list retained jobs
+//	GET    /v1/jobs/{id}        poll status / fetch the result
+//	GET    /v1/jobs/{id}/trace  lifecycle phases + convergence events
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/solvers          registered solver names
+//	GET    /v1/stats            throughput and latency counters
+//	GET    /metrics             Prometheus text-format exposition
+//	GET    /healthz             liveness
+//	/debug/pprof/...            net/http/pprof (opt-in via -pprof)
+//
+// Every request is access-logged as one structured line (method, path,
+// status, bytes, duration, request ID); the request ID is read from an
+// inbound X-Request-Id header (or generated), echoed on the response,
+// and propagated into the job's lifecycle logs and trace.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: the listener stops
 // accepting, queued and running jobs get -drain-grace to finish, and
@@ -28,11 +36,15 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"gridsched/internal/obs"
 	"gridsched/internal/service"
 )
 
@@ -41,15 +53,29 @@ func main() {
 	log.SetPrefix("gridschedd: ")
 
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "solve workers (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 64, "job queue capacity (submits beyond it get 429)")
-		ttl     = flag.Duration("result-ttl", 15*time.Minute, "how long finished jobs stay retrievable")
-		cache   = flag.Int("cache", 16, "instance cache capacity (entries)")
-		maxDur  = flag.Duration("max-duration", 5*time.Minute, "cap on any job's wall-clock budget; budget-less jobs get exactly this, so none can hold a worker forever (0 = uncapped)")
-		grace   = flag.Duration("drain-grace", 30*time.Second, "how long shutdown waits for in-flight jobs before cancelling them")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "solve workers (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "job queue capacity (submits beyond it get 429)")
+		ttl       = flag.Duration("result-ttl", 15*time.Minute, "how long finished jobs stay retrievable")
+		cache     = flag.Int("cache", 16, "instance cache capacity (entries)")
+		maxDur    = flag.Duration("max-duration", 5*time.Minute, "cap on any job's wall-clock budget; budget-less jobs get exactly this, so none can hold a worker forever (0 = uncapped)")
+		grace     = flag.Duration("drain-grace", 30*time.Second, "how long shutdown waits for in-flight jobs before cancelling them")
+		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of logfmt-style text")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		withPprof = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (opt-in: exposes internals)")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		log.Fatalf("bad -log-level %q: %v", *logLevel, err)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, opts)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, opts)
+	}
+	logger := slog.New(handler)
 
 	svc := service.New(service.Config{
 		Workers:     *workers,
@@ -57,16 +83,29 @@ func main() {
 		ResultTTL:   *ttl,
 		CacheSize:   *cache,
 		MaxDuration: *maxDur,
+		Logger:      logger,
 	})
 
-	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	if *withPprof {
+		// Explicit registration instead of the pprof blank import: the
+		// side-effect import registers on DefaultServeMux, which this
+		// daemon deliberately does not serve.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: obs.AccessLog(logger, mux)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("listening on %s (%d workers, queue %d)", *addr, svc.Config().Workers, svc.Config().QueueSize)
+	log.Printf("listening on %s (%d workers, queue %d, pprof %v)", *addr, svc.Config().Workers, svc.Config().QueueSize, *withPprof)
 
 	select {
 	case err := <-errc:

@@ -18,6 +18,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -46,6 +47,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "service worker pool size (0 = GOMAXPROCS)")
 		queue       = flag.Int("queue", 0, "service queue bound (0 = default; submits beyond it back-pressure)")
 		csvPath     = flag.String("csv", "", "also write the report as CSV to this file")
+		convPath    = flag.String("converge-csv", "", "write every job's convergence trace (per solver × class, per portfolio lane) as CSV to this file")
 		timeout     = flag.Duration("timeout", 30*time.Minute, "overall sweep deadline")
 		list        = flag.Bool("list-solvers", false, "list registered solvers and exit")
 		prof        = cliutil.ProfileFlags()
@@ -80,14 +82,15 @@ func main() {
 	}
 
 	cfg := gridsched.SweepConfig{
-		Classes:   classes,
-		Tasks:     *tasks,
-		Machines:  *machines,
-		Solvers:   solvers,
-		Budget:    gridsched.Budget{MaxDuration: *maxtime, MaxEvaluations: *evals, MaxGenerations: *gens},
-		Seed:      *seed,
-		Workers:   *workers,
-		QueueSize: *queue,
+		Classes:            classes,
+		Tasks:              *tasks,
+		Machines:           *machines,
+		Solvers:            solvers,
+		Budget:             gridsched.Budget{MaxDuration: *maxtime, MaxEvaluations: *evals, MaxGenerations: *gens},
+		Seed:               *seed,
+		Workers:            *workers,
+		QueueSize:          *queue,
+		CollectConvergence: *convPath != "",
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -102,19 +105,31 @@ func main() {
 	fmt.Print(rep.Table())
 
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := rep.WriteCSV(f); err != nil {
-			f.Close()
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := writeFile(*csvPath, rep.WriteCSV); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nwrote %s\n", *csvPath)
 	}
+	if *convPath != "" {
+		if err := writeFile(*convPath, rep.WriteConvergenceCSV); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *convPath)
+	}
+}
+
+// writeFile creates path and streams write into it, surfacing close
+// errors (a full disk shows up at close, not write).
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseClasses resolves the -classes flag: "all", full u_x_yyzz[.k]

@@ -108,6 +108,7 @@ func StruggleContext(ctx context.Context, inst *etc.Instance, cfg StruggleConfig
 		fit[i] = pop[i].Makespan()
 	}
 	eng.AddEvals(int64(cfg.PopSize))
+	observeInitialBest(eng, fit)
 
 	child := schedule.New(inst)
 	tournament := func() int {
@@ -139,6 +140,7 @@ func StruggleContext(ctx context.Context, inst *etc.Instance, cfg StruggleConfig
 		}
 		cf := child.Makespan()
 		eng.AddEvals(1)
+		eng.Observe(cf)
 		steps++
 
 		// Struggle replacement: the offspring competes with the most
@@ -162,6 +164,7 @@ func StruggleContext(ctx context.Context, inst *etc.Instance, cfg StruggleConfig
 			bestIdx = i
 		}
 	}
+	eng.Finish(fit[bestIdx])
 	return &core.Result{
 		Best:            pop[bestIdx].Clone(),
 		BestFitness:     fit[bestIdx],
@@ -171,6 +174,23 @@ func StruggleContext(ctx context.Context, inst *etc.Instance, cfg StruggleConfig
 		Duration:        eng.Elapsed(),
 		EffectiveBudget: eng.EffectiveBudget(),
 	}, nil
+}
+
+// observeInitialBest seeds an attached observer's convergence trace
+// with the best fitness of a freshly evaluated population, so the first
+// steady-state improvement is measured against the starting point. The
+// scan is gated on observation: an unobserved run pays nothing.
+func observeInitialBest(eng *solver.Engine, fit []float64) {
+	if !eng.Observing() || len(fit) == 0 {
+		return
+	}
+	best := fit[0]
+	for _, f := range fit[1:] {
+		if f < best {
+			best = f
+		}
+	}
+	eng.Observe(best)
 }
 
 // CMALTHConfig parameterizes the cellular memetic baseline.

@@ -114,6 +114,7 @@ func GenerationalContext(ctx context.Context, inst *etc.Instance, cfg Generation
 		fit[i] = pop[i].Makespan()
 	}
 	eng.AddEvals(int64(cfg.PopSize))
+	observeInitialBest(eng, fit)
 
 	next := make([]*schedule.Schedule, cfg.PopSize)
 	nextFit := make([]float64, cfg.PopSize)
@@ -186,6 +187,7 @@ loop:
 			}
 			nextFit[slot] = child.Makespan()
 			eng.AddEvals(1)
+			eng.Observe(nextFit[slot])
 		}
 		pop, next = next, pop
 		fit, nextFit = nextFit, fit
@@ -203,6 +205,7 @@ loop:
 	}
 
 	b := bestIdx()
+	eng.Finish(fit[b])
 	return &core.Result{
 		Best:            pop[b].Clone(),
 		BestFitness:     fit[b],

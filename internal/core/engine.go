@@ -53,6 +53,12 @@ func RunContext(ctx context.Context, inst *etc.Instance, p Params) (*Result, err
 
 	eng := solver.NewEngine(ctx, p.budget())
 	eng.AddEvals(int64(pop.size())) // initial_evaluation of Algorithm 2
+	if eng.Observing() {
+		// Seed the convergence trace with the initial population's best,
+		// so the first breeding-step improvement is measured against it.
+		_, f := pop.best()
+		eng.Observe(f)
+	}
 	var lsMoves atomic.Int64
 
 	workers := make([]*worker, p.Threads)
@@ -97,6 +103,7 @@ func RunContext(ctx context.Context, inst *etc.Instance, p Params) (*Result, err
 		res.Generations += w.gens
 	}
 	res.Best, res.BestFitness = pop.best()
+	eng.Finish(res.BestFitness)
 	if p.RecordConvergence {
 		res.Convergence = aggregateSeries(workers, blocks, func(w *worker) []float64 { return w.conv })
 	}
@@ -214,6 +221,7 @@ func (w *worker) evolveCell(cell int) {
 	// through this worker's scratch arena.
 	fit := p.fitnessWith(w.child, &w.scratch)
 	w.eng.AddEvals(1)
+	w.eng.Observe(fit)
 
 	// replace: install into the current cell under the write lock if the
 	// policy accepts.

@@ -57,6 +57,10 @@ func RunSyncContext(ctx context.Context, inst *etc.Instance, p Params) (*Result,
 
 	eng := solver.NewEngine(ctx, p.budget())
 	eng.AddEvals(int64(pop.size()))
+	if eng.Observing() {
+		_, f := pop.best()
+		eng.Observe(f)
+	}
 	var lsMoves int64
 	var gens int64
 	var conv, div []float64
@@ -132,6 +136,7 @@ loop:
 			}
 			auxFit[cell] = p.fitnessWith(aux[cell], &scratch)
 			eng.AddEvals(1)
+			eng.Observe(auxFit[cell])
 			accepted[cell] = p.Replacement.Accepts(pop.fit[cell], auxFit[cell])
 		}
 		// Synchronous replacement: the whole generation installs at once.
@@ -150,5 +155,6 @@ loop:
 		Diversity:        div,
 	}
 	res.Best, res.BestFitness = pop.best()
+	eng.Finish(res.BestFitness)
 	return res, nil
 }

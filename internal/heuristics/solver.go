@@ -35,9 +35,12 @@ func (c Constructive) Solve(ctx context.Context, inst *etc.Instance, _ solver.Bu
 	eng := solver.NewEngine(ctx, solver.Budget{})
 	s := c.fn(inst)
 	eng.AddEvals(1)
+	fit := s.Makespan()
+	eng.Observe(fit)
+	eng.Finish(fit)
 	return &solver.Result{
 		Best:            s,
-		BestFitness:     s.Makespan(),
+		BestFitness:     fit,
 		Evaluations:     eng.Evals(),
 		Duration:        eng.Elapsed(),
 		EffectiveBudget: eng.EffectiveBudget(),

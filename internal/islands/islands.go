@@ -223,6 +223,20 @@ func RunContext(ctx context.Context, inst *etc.Instance, cfg Config) (*core.Resu
 		islands[i] = isl
 	}
 	eng.AddEvals(int64(cfg.Islands * grid.Size()))
+	if eng.Observing() {
+		// Seed the convergence trace with the best initial individual
+		// across all islands (the populations are still private to this
+		// goroutine — the island workers have not started).
+		init := islands[0].fit[0]
+		for _, isl := range islands {
+			for _, f := range isl.fit {
+				if f < init {
+					init = f
+				}
+			}
+		}
+		eng.Observe(init)
+	}
 
 	var wg sync.WaitGroup
 	for _, isl := range islands {
@@ -253,6 +267,7 @@ func RunContext(ctx context.Context, inst *etc.Instance, cfg Config) (*core.Resu
 	}
 	res.Best = best.Clone()
 	res.BestFitness = bestFit
+	eng.Finish(bestFit)
 	return res, nil
 }
 
@@ -306,6 +321,7 @@ func (isl *island) evolveCell(cell int) {
 	}
 	f := isl.child.Makespan()
 	isl.eng.AddEvals(1)
+	isl.eng.Observe(f)
 	if cfg.Replacement.Accepts(isl.fit[cell], f) {
 		isl.pop[cell].CopyFrom(isl.child)
 		isl.fit[cell] = f

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// RequestIDHeader is the header the access-log middleware reads an
+// inbound request ID from and echoes the effective ID back on.
+const RequestIDHeader = "X-Request-Id"
+
+// statusWriter captures the response status and byte count.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer when it supports streaming.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// AccessLog wraps next with structured request logging: every request
+// gets a request ID (inbound X-Request-Id or freshly generated),
+// echoed on the response and attached to the request context, and one
+// slog line records method, path, status, bytes, duration and the ID.
+func AccessLog(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(WithRequestID(r.Context(), id)))
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		logger.Info("http request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"duration", time.Since(start),
+			"request_id", id,
+		)
+	})
+}
+
+// Instrument wraps next so every response increments requests with
+// labels {code, method} — mount outside (or inside) AccessLog; the two
+// are independent.
+func Instrument(requests *CounterVec, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		requests.With(strconv.Itoa(sw.status), r.Method).Inc()
+	})
+}

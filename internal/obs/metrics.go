@@ -1,0 +1,471 @@
+// Package obs is the repository's dependency-free observability kit:
+// a metrics registry with Prometheus text-format exposition, structured
+// request logging helpers on top of log/slog, and a lightweight span
+// recorder for job lifecycles and solver convergence traces.
+//
+// The metrics side deliberately implements only what the service needs
+// — atomic counters, gauges, fixed-bucket histograms, and label vectors
+// with a small, known cardinality — so the hot paths are a single
+// atomic add with zero allocations, and the exposition format stays a
+// few hundred lines of plain code instead of a client library.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// ready to use; Inc/Add are a single atomic add.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. The zero value is ready
+// to use; Set is an atomic store, Add a CAS loop on the float bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. Buckets are the
+// ascending upper bounds; counts[i] holds observations ≤ bounds[i]
+// (non-cumulative internally), counts[len(bounds)] the +Inf overflow.
+// Observe is lock-free: one binary search plus two atomic adds and a
+// CAS loop for the sum.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64
+	sumBits atomic.Uint64
+	count   atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds. It panics on unsorted or empty bounds — histogram shapes are
+// static configuration, not runtime input.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// ExpBuckets returns n bounds starting at start, each factor times the
+// previous — the standard log-spaced latency layout.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n > 0")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound ≥ v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// metricKind drives the TYPE line and exposition shape.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registered family: either a single unlabeled series or
+// a vector of labeled children.
+type metric struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []string // label names for vectors; nil for plain series
+
+	// Exactly one of these is set for plain series.
+	counter     *Counter
+	gauge       *Gauge
+	histogram   *Histogram
+	counterFunc func() int64
+	gaugeFunc   func() float64
+
+	// Vector children, keyed by joined label values.
+	mu       sync.Mutex
+	children map[string]*child
+	bounds   []float64 // histogram vector bucket layout
+}
+
+type child struct {
+	values    []string
+	counter   *Counter
+	gauge     *Gauge
+	histogram *Histogram
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format 0.0.4. The zero value is not usable; construct
+// with NewRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+	order   []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]*metric{}}
+}
+
+var nameRe = func(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) register(m *metric) {
+	if !nameRe(m.name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", m.name))
+	}
+	for _, l := range m.labels {
+		if !nameRe(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l, m.name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.metrics[m.name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", m.name))
+	}
+	r.metrics[m.name] = m
+	r.order = append(r.order, m.name)
+}
+
+// Counter registers and returns a plain counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// Gauge registers and returns a plain gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, kind: kindGauge, gauge: g})
+	return g
+}
+
+// Histogram registers and returns a plain histogram over bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	r.register(&metric{name: name, help: help, kind: kindHistogram, histogram: h})
+	return h
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// scrape time — for counters owned elsewhere (the instance cache).
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	r.register(&metric{name: name, help: help, kind: kindCounter, counterFunc: fn})
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindGauge, gaugeFunc: fn})
+}
+
+// CounterVec is a counter family with one child per label-value tuple.
+type CounterVec struct{ m *metric }
+
+// GaugeVec is a gauge family with one child per label-value tuple.
+type GaugeVec struct{ m *metric }
+
+// HistogramVec is a histogram family with one child per label-value
+// tuple, all sharing one bucket layout.
+type HistogramVec struct{ m *metric }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	m := &metric{name: name, help: help, kind: kindCounter, labels: labels, children: map[string]*child{}}
+	r.register(m)
+	return &CounterVec{m}
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	m := &metric{name: name, help: help, kind: kindGauge, labels: labels, children: map[string]*child{}}
+	r.register(m)
+	return &GaugeVec{m}
+}
+
+// HistogramVec registers a labeled histogram family over bounds.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if len(bounds) == 0 {
+		panic("obs: histogram vector needs bucket bounds")
+	}
+	m := &metric{name: name, help: help, kind: kindHistogram, labels: labels,
+		children: map[string]*child{}, bounds: append([]float64(nil), bounds...)}
+	r.register(m)
+	return &HistogramVec{m}
+}
+
+func (m *metric) child(values []string) *child {
+	if len(values) != len(m.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", m.name, len(m.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.children[key]
+	if !ok {
+		c = &child{values: append([]string(nil), values...)}
+		switch m.kind {
+		case kindCounter:
+			c.counter = &Counter{}
+		case kindGauge:
+			c.gauge = &Gauge{}
+		case kindHistogram:
+			c.histogram = NewHistogram(m.bounds)
+		}
+		m.children[key] = c
+	}
+	return c
+}
+
+// With returns (creating on first use) the child counter for the label
+// values. Callers with hot paths should look children up once and keep
+// the handle.
+func (v *CounterVec) With(values ...string) *Counter { return v.m.child(values).counter }
+
+// With returns the child gauge for the label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.m.child(values).gauge }
+
+// With returns the child histogram for the label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.m.child(values).histogram }
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, `\"`+"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func labelString(names, values []string, extra ...string) string {
+	if len(names) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		if len(names) > 0 || i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extra[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func writeHistogram(b *strings.Builder, name, labels string, names, values []string, h *Histogram) {
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name,
+			labelString(names, values, "le", formatValue(bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, labelString(names, values, "le", "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labels, formatValue(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, h.Count())
+}
+
+// Expose renders every registered family in Prometheus text exposition
+// format 0.0.4. Families appear in registration order; vector children
+// are sorted by label values so scrapes are deterministic.
+func (r *Registry) Expose() string {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	metrics := make([]*metric, len(names))
+	for i, n := range names {
+		metrics[i] = r.metrics[n]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, m := range metrics {
+		typ := "counter"
+		switch m.kind {
+		case kindGauge:
+			typ = "gauge"
+		case kindHistogram:
+			typ = "histogram"
+		}
+		if m.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", m.name, strings.ReplaceAll(m.help, "\n", " "))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, typ)
+
+		if m.children != nil {
+			m.mu.Lock()
+			kids := make([]*child, 0, len(m.children))
+			for _, c := range m.children {
+				kids = append(kids, c)
+			}
+			m.mu.Unlock()
+			sort.Slice(kids, func(i, j int) bool {
+				return strings.Join(kids[i].values, "\x00") < strings.Join(kids[j].values, "\x00")
+			})
+			for _, c := range kids {
+				labels := labelString(m.labels, c.values)
+				switch m.kind {
+				case kindCounter:
+					fmt.Fprintf(&b, "%s%s %d\n", m.name, labels, c.counter.Value())
+				case kindGauge:
+					fmt.Fprintf(&b, "%s%s %s\n", m.name, labels, formatValue(c.gauge.Value()))
+				case kindHistogram:
+					writeHistogram(&b, m.name, labels, m.labels, c.values, c.histogram)
+				}
+			}
+			continue
+		}
+		switch {
+		case m.counter != nil:
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.counter.Value())
+		case m.counterFunc != nil:
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.counterFunc())
+		case m.gauge != nil:
+			fmt.Fprintf(&b, "%s %s\n", m.name, formatValue(m.gauge.Value()))
+		case m.gaugeFunc != nil:
+			fmt.Fprintf(&b, "%s %s\n", m.name, formatValue(m.gaugeFunc()))
+		case m.histogram != nil:
+			writeHistogram(&b, m.name, "", nil, nil, m.histogram)
+		}
+	}
+	return b.String()
+}
+
+// ContentType is the exposition format content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns an http.Handler serving the registry's exposition —
+// mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_, _ = w.Write([]byte(r.Expose()))
+	})
+}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExposeGolden pins the exact exposition output for a registry
+// exercising every metric shape — the format contract /metrics serves.
+func TestExposeGolden(t *testing.T) {
+	r := NewRegistry()
+
+	c := r.Counter("jobs_total", "Jobs submitted.")
+	c.Add(3)
+	g := r.Gauge("queue_depth", "Jobs waiting.")
+	g.Set(2)
+	g.Add(-1)
+	h := r.Histogram("latency_seconds", "Job latency.", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(100)
+
+	cv := r.CounterVec("http_requests_total", "HTTP requests.", "code", "method")
+	cv.With("200", "GET").Add(7)
+	cv.With("404", "GET").Inc()
+	cv.With("200", "POST").Add(2)
+
+	hv := r.HistogramVec("solve_seconds", "Solve latency.", []float64{1, 2}, "solver")
+	hv.With("tabu").Observe(1.5)
+
+	r.CounterFunc("cache_hits_total", "Cache hits.", func() int64 { return 42 })
+	r.GaugeFunc("uptime_seconds", "Uptime.", func() float64 { return 12.5 })
+
+	want := `# HELP jobs_total Jobs submitted.
+# TYPE jobs_total counter
+jobs_total 3
+# HELP queue_depth Jobs waiting.
+# TYPE queue_depth gauge
+queue_depth 1
+# HELP latency_seconds Job latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.1"} 1
+latency_seconds_bucket{le="1"} 2
+latency_seconds_bucket{le="10"} 2
+latency_seconds_bucket{le="+Inf"} 3
+latency_seconds_sum 100.55
+latency_seconds_count 3
+# HELP http_requests_total HTTP requests.
+# TYPE http_requests_total counter
+http_requests_total{code="200",method="GET"} 7
+http_requests_total{code="200",method="POST"} 2
+http_requests_total{code="404",method="GET"} 1
+# HELP solve_seconds Solve latency.
+# TYPE solve_seconds histogram
+solve_seconds_bucket{solver="tabu",le="1"} 0
+solve_seconds_bucket{solver="tabu",le="2"} 1
+solve_seconds_bucket{solver="tabu",le="+Inf"} 1
+solve_seconds_sum{solver="tabu"} 1.5
+solve_seconds_count{solver="tabu"} 1
+# HELP cache_hits_total Cache hits.
+# TYPE cache_hits_total counter
+cache_hits_total 42
+# HELP uptime_seconds Uptime.
+# TYPE uptime_seconds gauge
+uptime_seconds 12.5
+`
+	got := r.Expose()
+	if got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestHandler checks the HTTP wrapper serves the exposition with the
+// 0.0.4 content type.
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Errorf("content type = %q, want %q", ct, ContentType)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Errorf("body missing sample:\n%s", rec.Body.String())
+	}
+}
+
+// TestLabelEscaping pins backslash/quote/newline escaping in label
+// values.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("weird_total", "", "path")
+	cv.With("a\\b\"c\nd").Inc()
+	got := r.Expose()
+	want := `weird_total{path="a\\b\"c\nd"} 1`
+	if !strings.Contains(got, want) {
+		t.Errorf("exposition %q missing escaped label %q", got, want)
+	}
+}
+
+// TestHotPathAllocations asserts the metric write paths allocate
+// nothing — the zero-overhead contract the service relies on.
+func TestHotPathAllocations(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", ExpBuckets(0.001, 4, 8))
+	cv := r.CounterVec("cv_total", "", "k")
+	cc := cv.With("v") // resolve the child outside the hot loop
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"CounterInc", func() { c.Inc() }},
+		{"CounterAdd", func() { c.Add(3) }},
+		{"GaugeSet", func() { g.Set(1.5) }},
+		{"GaugeAdd", func() { g.Add(-0.5) }},
+		{"HistogramObserve", func() { h.Observe(0.02) }},
+		{"VecChildInc", func() { cc.Inc() }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(100, tc.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestConcurrentWritesAndScrapes hammers every metric kind from many
+// goroutines while scraping — run under -race this is the data-race
+// proof for the lock-free paths.
+func TestConcurrentWritesAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{1, 2, 4})
+	cv := r.CounterVec("cv_total", "", "w")
+
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 5))
+				cv.With(lbl).Inc()
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = r.Expose()
+		}
+	}()
+	wg.Wait()
+
+	if got := c.Value(); got != workers*iters {
+		t.Errorf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := g.Value(); got != workers*iters {
+		t.Errorf("gauge = %v, want %d", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+}
+
+// TestHistogramBucketEdges pins the ≤-bound bucketing rule.
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(1) // lands in le="1" (bounds are inclusive)
+	h.Observe(2)
+	h.Observe(3)
+	if got := h.counts[0].Load(); got != 1 {
+		t.Errorf("bucket le=1 = %d, want 1", got)
+	}
+	if got := h.counts[1].Load(); got != 1 {
+		t.Errorf("bucket le=2 = %d, want 1", got)
+	}
+	if got := h.counts[2].Load(); got != 1 {
+		t.Errorf("overflow bucket = %d, want 1", got)
+	}
+}
+
+// TestDuplicateRegistrationPanics pins that the registry rejects
+// duplicate names loudly at wiring time.
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total", "")
+}

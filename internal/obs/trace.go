@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"gridsched/internal/solver"
+)
+
+// Span is one phase of a job's lifecycle: the interval between two
+// consecutive timeline marks (the last span runs to "now" or to the
+// timeline's final mark).
+type Span struct {
+	// Phase is the name of the mark opening the span.
+	Phase string `json:"phase"`
+	// Start is the offset from the timeline's first mark.
+	Start time.Duration `json:"start"`
+	// Duration is the span length.
+	Duration time.Duration `json:"duration"`
+}
+
+// Timeline records a job's lifecycle as ordered named marks and
+// renders them as per-phase spans. It is safe for concurrent use; the
+// expected writer pattern is one mark per state transition.
+type Timeline struct {
+	mu    sync.Mutex
+	names []string
+	times []time.Time
+}
+
+// Mark appends a named instant. Duplicate consecutive names are
+// recorded as-is — the caller owns the state machine.
+func (t *Timeline) Mark(name string) {
+	t.mu.Lock()
+	t.names = append(t.names, name)
+	t.times = append(t.times, time.Now())
+	t.mu.Unlock()
+}
+
+// Spans renders the marks as phases: mark i opens a span closed by
+// mark i+1; the final mark's span is closed by now (pass time.Time{}
+// to use the final mark itself, yielding a zero-length last span for
+// terminal states).
+func (t *Timeline) Spans(now time.Time) []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.names) == 0 {
+		return nil
+	}
+	out := make([]Span, len(t.names))
+	base := t.times[0]
+	for i := range t.names {
+		end := now
+		if i+1 < len(t.times) {
+			end = t.times[i+1]
+		} else if now.IsZero() {
+			end = t.times[i]
+		}
+		out[i] = Span{
+			Phase:    t.names[i],
+			Start:    t.times[i].Sub(base),
+			Duration: end.Sub(t.times[i]),
+		}
+	}
+	return out
+}
+
+// RecordedEvent is one convergence event captured by a Recorder.
+type RecordedEvent struct {
+	// Kind is "improved" for incumbent improvements, "done" for the
+	// terminal event.
+	Kind string `json:"kind"`
+	// Lane is the engine family's lane label ("" outside a portfolio).
+	Lane string `json:"lane,omitempty"`
+	// Evals is the engine-family evaluation count at the event.
+	Evals int64 `json:"evals"`
+	// Elapsed is wall time since the root engine started.
+	Elapsed time.Duration `json:"elapsed"`
+	// Fitness is the fitness at the event.
+	Fitness float64 `json:"fitness"`
+}
+
+// Recorder is a bounded, concurrency-safe solver.Observer that keeps
+// the convergence event series in memory — the service attaches one
+// per job, the CLIs one per run. Once the bound is reached further
+// improvement events are counted as dropped rather than stored
+// (terminal events are always kept).
+type Recorder struct {
+	mu      sync.Mutex
+	events  []RecordedEvent
+	max     int
+	dropped int64
+}
+
+// DefaultRecorderCap bounds a Recorder constructed with max <= 0. A
+// solver improving its incumbent more than this many times in one job
+// is pathological; the cap keeps a job's trace memory bounded.
+const DefaultRecorderCap = 4096
+
+// NewRecorder returns a Recorder keeping at most max events (max <= 0
+// means DefaultRecorderCap).
+func NewRecorder(max int) *Recorder {
+	if max <= 0 {
+		max = DefaultRecorderCap
+	}
+	return &Recorder{max: max}
+}
+
+// Improved implements solver.Observer.
+func (r *Recorder) Improved(ev solver.Event) { r.record("improved", ev, false) }
+
+// Done implements solver.Observer.
+func (r *Recorder) Done(ev solver.Event) { r.record("done", ev, true) }
+
+func (r *Recorder) record(kind string, ev solver.Event, always bool) {
+	r.mu.Lock()
+	if len(r.events) >= r.max && !always {
+		r.dropped++
+		r.mu.Unlock()
+		return
+	}
+	r.events = append(r.events, RecordedEvent{
+		Kind:    kind,
+		Lane:    ev.Lane,
+		Evals:   ev.Evals,
+		Elapsed: ev.Elapsed,
+		Fitness: ev.Fitness,
+	})
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the captured series in arrival order.
+func (r *Recorder) Events() []RecordedEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]RecordedEvent(nil), r.events...)
+}
+
+// Dropped returns how many improvement events the cap discarded.
+func (r *Recorder) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// ConvergenceCSVHeader is the column layout WriteConvergenceCSV emits.
+const ConvergenceCSVHeader = "solver,instance,lane,kind,evals,elapsed_ms,fitness"
+
+// WriteConvergenceCSV appends one row per event, tagged with the
+// solver and instance names. Call once with writeHeader=true for the
+// first block of a file; subsequent blocks append rows only.
+func WriteConvergenceCSV(w io.Writer, solverName, instance string, events []RecordedEvent, writeHeader bool) error {
+	if writeHeader {
+		if _, err := fmt.Fprintln(w, ConvergenceCSVHeader); err != nil {
+			return err
+		}
+	}
+	for _, ev := range events {
+		_, err := fmt.Fprintf(w, "%s,%s,%s,%s,%d,%.3f,%g\n",
+			csvField(solverName), csvField(instance), csvField(ev.Lane), ev.Kind,
+			ev.Evals, float64(ev.Elapsed)/float64(time.Millisecond), ev.Fitness)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvField keeps the writer dependency-free: solver and instance names
+// in this repo never need quoting, but a comma would corrupt the file,
+// so it is replaced defensively.
+func csvField(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ',' || s[i] == '\n' || s[i] == '"' {
+			b := []byte(s)
+			for j, c := range b {
+				if c == ',' || c == '\n' || c == '"' {
+					b[j] = ';'
+				}
+			}
+			return string(b)
+		}
+	}
+	return s
+}

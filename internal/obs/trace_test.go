@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gridsched/internal/solver"
+)
+
+func TestTimelineSpans(t *testing.T) {
+	var tl Timeline
+	tl.Mark("queued")
+	tl.Mark("solving")
+	tl.Mark("succeeded")
+
+	spans := tl.Spans(time.Time{})
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	wantPhases := []string{"queued", "solving", "succeeded"}
+	for i, s := range spans {
+		if s.Phase != wantPhases[i] {
+			t.Errorf("span %d phase = %q, want %q", i, s.Phase, wantPhases[i])
+		}
+		if s.Start < 0 || s.Duration < 0 {
+			t.Errorf("span %d has negative time: %+v", i, s)
+		}
+	}
+	// Terminal timeline with zero now: last span is zero-length.
+	if spans[2].Duration != 0 {
+		t.Errorf("terminal span duration = %v, want 0", spans[2].Duration)
+	}
+	// A live timeline measures the open span to now.
+	live := tl.Spans(time.Now().Add(time.Hour))
+	if live[2].Duration < time.Hour-time.Minute {
+		t.Errorf("open span = %v, want ≈1h", live[2].Duration)
+	}
+}
+
+func TestRecorderCapAndDropped(t *testing.T) {
+	r := NewRecorder(2)
+	r.Improved(solver.Event{Fitness: 3})
+	r.Improved(solver.Event{Fitness: 2})
+	r.Improved(solver.Event{Fitness: 1}) // over cap: dropped
+	r.Done(solver.Event{Fitness: 1})     // terminal events always kept
+
+	ev := r.Events()
+	if len(ev) != 3 {
+		t.Fatalf("got %d events, want 3 (2 improvements + done)", len(ev))
+	}
+	if ev[2].Kind != "done" {
+		t.Errorf("last event kind = %q, want done", ev[2].Kind)
+	}
+	if got := r.Dropped(); got != 1 {
+		t.Errorf("dropped = %d, want 1", got)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Improved(solver.Event{Lane: "l", Evals: int64(i), Fitness: float64(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(r.Events()); got != 800 {
+		t.Errorf("got %d events, want 800", got)
+	}
+}
+
+func TestWriteConvergenceCSV(t *testing.T) {
+	events := []RecordedEvent{
+		{Kind: "improved", Lane: "tabu", Evals: 100, Elapsed: 1500 * time.Microsecond, Fitness: 42.5},
+		{Kind: "done", Evals: 4000, Elapsed: 20 * time.Millisecond, Fitness: 40},
+	}
+	var b strings.Builder
+	if err := WriteConvergenceCSV(&b, "portfolio", "u_c_hihi", events, true); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := ConvergenceCSVHeader + "\n" +
+		"portfolio,u_c_hihi,tabu,improved,100,1.500,42.5\n" +
+		"portfolio,u_c_hihi,,done,4000,20.000,40\n"
+	if got != want {
+		t.Errorf("csv mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestCSVFieldSanitizing(t *testing.T) {
+	if got := csvField("a,b\"c"); got != "a;b;c" {
+		t.Errorf("csvField = %q, want a;b;c", got)
+	}
+	if got := csvField("clean"); got != "clean" {
+		t.Errorf("csvField = %q, want clean (unchanged)", got)
+	}
+}

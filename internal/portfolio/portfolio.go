@@ -393,6 +393,7 @@ func (s Solver) Solve(ctx context.Context, inst *etc.Instance, b solver.Budget) 
 		return nil, fmt.Errorf("portfolio: no constituent produced a schedule under budget %s", b)
 	}
 	res.Best, res.BestFitness = best, fit
+	parent.Finish(fit)
 	return res, nil
 }
 
@@ -432,7 +433,9 @@ func (s Solver) runLane(raceCtx context.Context, raceStart time.Time, inst *etc.
 			}
 		}
 		t0 := time.Now()
-		res, err := sv.Solve(solver.WithEngine(raceCtx, l.eng), inst, rb)
+		// Label the round's engines with the lane name so an attached
+		// observer can attribute convergence events per constituent.
+		res, err := sv.Solve(solver.WithEngine(solver.WithLane(raceCtx, l.name), l.eng), inst, rb)
 		l.busy += time.Since(t0)
 		l.rounds++
 		if err != nil {

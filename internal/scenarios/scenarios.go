@@ -18,11 +18,13 @@ package scenarios
 import (
 	"context"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"time"
 
 	"gridsched/internal/etc"
+	"gridsched/internal/obs"
 	"gridsched/internal/portfolio"
 	"gridsched/internal/service"
 	"gridsched/internal/solver"
@@ -51,6 +53,12 @@ type Config struct {
 	// QueueSize bounds the service job queue; zero means the service
 	// default. Smaller queues exercise producer backpressure harder.
 	QueueSize int
+	// CollectConvergence keeps each job's convergence trace (the
+	// incumbent-improvement event series the service records anyway) in
+	// its Cell, for Report.WriteConvergenceCSV. Off by default: a full
+	// matrix of traces is a lot of memory to hold for a report that
+	// usually only needs the final makespans.
+	CollectConvergence bool
 }
 
 // DefaultEvalBudget is the per-job evaluation budget a zero Config
@@ -75,6 +83,12 @@ type Cell struct {
 	// wall time.
 	Wait    time.Duration
 	Latency time.Duration
+	// Events is the job's convergence trace (incumbent improvements and
+	// the terminal fitness, per portfolio lane where applicable); only
+	// populated under Config.CollectConvergence. EventsDropped counts
+	// events the bounded recorder discarded.
+	Events        []obs.RecordedEvent
+	EventsDropped int64
 }
 
 // Summary aggregates one solver across every class of the sweep.
@@ -246,6 +260,12 @@ func Sweep(ctx context.Context, cfg Config) (*Report, error) {
 			cell.Makespan = j.Result.Makespan
 			cell.Evaluations = j.Result.Evaluations
 		}
+		if cfg.CollectConvergence {
+			if tr, err := svc.Trace(p.id); err == nil {
+				cell.Events = tr.Events
+				cell.EventsDropped = tr.Dropped
+			}
+		}
 		report.Cells = append(report.Cells, cell)
 	}
 	report.Elapsed = time.Since(start)
@@ -368,6 +388,24 @@ func (r *Report) finalize() {
 		}
 		r.Portfolios = append(r.Portfolios, cmp)
 	}
+}
+
+// WriteConvergenceCSV writes every collected convergence trace as one
+// CSV (solver,instance,lane,kind,evals,elapsed_ms,fitness), cell-major
+// in report order. The sweep must have run with
+// Config.CollectConvergence for the cells to carry events.
+func (r *Report) WriteConvergenceCSV(w io.Writer) error {
+	header := true
+	for _, c := range r.Cells {
+		if len(c.Events) == 0 {
+			continue
+		}
+		if err := obs.WriteConvergenceCSV(w, c.Solver, c.Instance, c.Events, header); err != nil {
+			return err
+		}
+		header = false
+	}
+	return nil
 }
 
 // ratioIsWin treats a cell as a class win when its makespan matches the

@@ -95,6 +95,71 @@ func TestSweepSmall(t *testing.T) {
 	}
 }
 
+// TestSweepCollectConvergence pins the trace plumbing: under
+// CollectConvergence every completed cell carries the job's convergence
+// events (ending in a terminal event matching its makespan) and
+// WriteConvergenceCSV renders them as one parseable CSV.
+func TestSweepCollectConvergence(t *testing.T) {
+	cfg := Config{
+		Classes:            smallClasses()[:1],
+		Tasks:              48,
+		Machines:           6,
+		Solvers:            []string{"minmin", "tabu"},
+		Budget:             solver.Budget{MaxEvaluations: 600},
+		Seed:               11,
+		CollectConvergence: true,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := Sweep(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Cells {
+		if len(c.Events) == 0 {
+			t.Fatalf("%s on %s: no convergence events collected", c.Solver, c.Instance)
+		}
+		last := c.Events[len(c.Events)-1]
+		if last.Kind != "done" {
+			t.Fatalf("%s on %s: last event kind %q, want done", c.Solver, c.Instance, last.Kind)
+		}
+		if last.Fitness != c.Makespan {
+			t.Fatalf("%s on %s: terminal fitness %v != makespan %v", c.Solver, c.Instance, last.Fitness, c.Makespan)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteConvergenceCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("convergence CSV does not parse: %v", err)
+	}
+	wantRows := 1 // header
+	for _, c := range rep.Cells {
+		wantRows += len(c.Events)
+	}
+	if len(rows) != wantRows {
+		t.Fatalf("convergence CSV has %d rows, want %d", len(rows), wantRows)
+	}
+	if got := strings.Join(rows[0], ","); got != "solver,instance,lane,kind,evals,elapsed_ms,fitness" {
+		t.Fatalf("convergence CSV header = %q", got)
+	}
+
+	// Without the flag, cells stay lean.
+	cfg.CollectConvergence = false
+	rep2, err := Sweep(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep2.Cells {
+		if len(c.Events) != 0 {
+			t.Fatalf("%s collected events without CollectConvergence", c.Solver)
+		}
+	}
+}
+
 func TestSweepBackpressure(t *testing.T) {
 	// A one-slot queue forces the producer through the retry path for
 	// nearly every submission; the sweep must still complete fully.

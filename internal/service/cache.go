@@ -21,6 +21,7 @@ type instanceCache struct {
 	pending  map[string]*pendingGen   // single-flight: name -> in-progress generation
 	hits     int64
 	misses   int64
+	joins    int64
 }
 
 type cacheEntry struct {
@@ -69,7 +70,12 @@ func (c *instanceCache) get(name string) (*etc.Instance, error) {
 			return nil, p.err
 		}
 		c.mu.Lock()
-		c.hits++
+		// A successful join is its own outcome, distinct from a hit: the
+		// instance was served, but by riding another request's generation
+		// rather than from a cached entry. Folding joins into hits hid
+		// the single-flight path from the stats (the PR 4 fix made failed
+		// joins count nothing; this keeps successful ones separable).
+		c.joins++
 		c.mu.Unlock()
 		return p.inst, nil
 	}
@@ -97,11 +103,12 @@ func (c *instanceCache) get(name string) (*etc.Instance, error) {
 	return p.inst, p.err
 }
 
-// counters reports hits, misses and the current entry count.
-func (c *instanceCache) counters() (hits, misses int64, entries int) {
+// counters reports hits, misses, successful single-flight joins and
+// the current entry count.
+func (c *instanceCache) counters() (hits, misses, joins int64, entries int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.order.Len()
+	return c.hits, c.misses, c.joins, c.order.Len()
 }
 
 // resolveInstance materializes the spec's instance: an inline matrix

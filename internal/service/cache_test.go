@@ -29,7 +29,7 @@ func TestInstanceCacheLRU(t *testing.T) {
 	if _, err := c.get("u_i_hihi.0"); err != nil {
 		t.Fatal(err)
 	}
-	hits, misses, entries := c.counters()
+	hits, misses, _, entries := c.counters()
 	if hits != 1 || misses != 3 || entries != 2 {
 		t.Errorf("counters = %d hits, %d misses, %d entries; want 1/3/2", hits, misses, entries)
 	}
@@ -37,7 +37,7 @@ func TestInstanceCacheLRU(t *testing.T) {
 	if _, err := c.get("u_c_lolo.0"); err != nil {
 		t.Fatal(err)
 	}
-	if _, misses, _ := c.counters(); misses != 4 {
+	if _, misses, _, _ := c.counters(); misses != 4 {
 		t.Errorf("misses after refetch = %d, want 4", misses)
 	}
 
@@ -47,12 +47,12 @@ func TestInstanceCacheLRU(t *testing.T) {
 	}
 }
 
-// TestInstanceCacheFailedJoinAccounting pins the hit accounting of
+// TestInstanceCacheFailedJoinAccounting pins the accounting of
 // single-flight joins: a waiter that joins a pending generation counts
-// as a hit only if the generation succeeds. A failed join is neither a
-// hit (no instance was served) nor a second miss (the initiating caller
-// already counted the flight), so an error storm on one bad name cannot
-// inflate the hit rate.
+// as a join only if the generation succeeds. A failed join is neither
+// a join nor a hit (no instance was served) nor a second miss (the
+// initiating caller already counted the flight), so an error storm on
+// one bad name cannot inflate any counter.
 func TestInstanceCacheFailedJoinAccounting(t *testing.T) {
 	// A sized name whose dimensions fail validation: the initiating
 	// caller's generation errors, counting exactly one miss.
@@ -61,8 +61,8 @@ func TestInstanceCacheFailedJoinAccounting(t *testing.T) {
 	if _, err := c.get(bad); err == nil {
 		t.Fatal("oversized instance name generated successfully")
 	}
-	if hits, misses, _ := c.counters(); hits != 0 || misses != 1 {
-		t.Fatalf("after failed generation: %d hits, %d misses; want 0/1", hits, misses)
+	if hits, misses, joins, _ := c.counters(); hits != 0 || misses != 1 || joins != 0 {
+		t.Fatalf("after failed generation: %d hits, %d misses, %d joins; want 0/1/0", hits, misses, joins)
 	}
 
 	// A waiter joining a pending flight that fails: the pending entry is
@@ -87,19 +87,59 @@ func TestInstanceCacheFailedJoinAccounting(t *testing.T) {
 	if _, err := c.get(bad); err != errGenerationFailed {
 		t.Fatalf("joined waiter error = %v, want %v", err, errGenerationFailed)
 	}
-	if hits, misses, _ := c.counters(); hits != 0 || misses != 1 {
-		t.Fatalf("after failed join: %d hits, %d misses; want 0/1 (failed joins count as neither)", hits, misses)
+	if hits, misses, joins, _ := c.counters(); hits != 0 || misses != 1 || joins != 0 {
+		t.Fatalf("after failed join: %d hits, %d misses, %d joins; want 0/1/0 (failed joins count as nothing)", hits, misses, joins)
 	}
 
-	// A successful join still counts as a hit.
+	// A plain entry hit (second get of a cached name) is a hit, not a
+	// join.
 	if _, err := c.get("u_c_hihi.0"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := c.get("u_c_hihi.0"); err != nil {
 		t.Fatal(err)
 	}
-	if hits, misses, _ := c.counters(); hits != 1 || misses != 2 {
-		t.Fatalf("after successful hit: %d hits, %d misses; want 1/2", hits, misses)
+	if hits, misses, joins, _ := c.counters(); hits != 1 || misses != 2 || joins != 0 {
+		t.Fatalf("after entry hit: %d hits, %d misses, %d joins; want 1/2/0", hits, misses, joins)
+	}
+}
+
+// TestInstanceCacheSuccessfulJoinCountsAsJoin pins the hit-vs-join
+// distinction: a waiter served by riding another request's in-flight
+// generation increments joins, not hits. The pending entry is
+// installed by hand so the join is deterministic.
+func TestInstanceCacheSuccessfulJoinCountsAsJoin(t *testing.T) {
+	const name = "u_c_hihi.0"
+	c := newInstanceCache(2)
+
+	// Generate the real instance up front (through a second cache so
+	// counters on c stay clean), then hand-install a pending flight
+	// that resolves to it.
+	inst, err := newInstanceCache(2).get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &pendingGen{done: make(chan struct{})}
+	c.mu.Lock()
+	c.pending[name] = p
+	c.mu.Unlock()
+	go func() {
+		p.inst = inst
+		c.mu.Lock()
+		delete(c.pending, name)
+		c.mu.Unlock()
+		close(p.done)
+	}()
+
+	got, err := c.get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != inst {
+		t.Error("join returned a different instance pointer")
+	}
+	if hits, misses, joins, _ := c.counters(); hits != 0 || misses != 0 || joins != 1 {
+		t.Fatalf("after successful join: %d hits, %d misses, %d joins; want 0/0/1", hits, misses, joins)
 	}
 }
 

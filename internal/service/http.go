@@ -7,33 +7,44 @@ import (
 	"net/http"
 	"time"
 
+	"gridsched/internal/obs"
 	"gridsched/internal/solver"
 )
 
 // Handler returns the service's HTTP/JSON API:
 //
-//	POST   /v1/jobs       submit a job (202; 429 when the queue is full)
-//	GET    /v1/jobs       list retained jobs, newest first
-//	GET    /v1/jobs/{id}  job status and, once finished, its result
-//	DELETE /v1/jobs/{id}  cancel a queued or running job
-//	GET    /v1/solvers    the registered solver names and descriptions
-//	GET    /v1/stats      service and per-solver counters
-//	GET    /healthz       liveness (503 while draining)
+//	POST   /v1/jobs             submit a job (202; 429 when the queue is full)
+//	GET    /v1/jobs             list retained jobs, newest first
+//	GET    /v1/jobs/{id}        job status and, once finished, its result
+//	GET    /v1/jobs/{id}/trace  lifecycle phases and convergence events
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/solvers          the registered solver names and descriptions
+//	GET    /v1/stats            service and per-solver counters
+//	GET    /metrics             Prometheus text-format exposition
+//	GET    /healthz             liveness (503 while draining)
 //
 // Durations in request and response bodies are Go duration strings
 // ("90s", "1.5m"). A job's task→machine assignment is large (one int
 // per task), so GET /v1/jobs/{id} includes it only when asked:
 // ?include=assignment.
+//
+// Every response is counted in gridsched_http_requests_total by status
+// and method. Submits read the request context's request ID (set by
+// obs.AccessLog, or by any middleware calling obs.WithRequestID) into
+// the job's spec, tying job logs and traces to the originating
+// request.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.Handle("GET /metrics", s.met.reg.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	return mux
+	return obs.Instrument(s.met.http, mux)
 }
 
 // jobRequest is the submit body.
@@ -235,10 +246,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	spec := JobSpec{
-		Solver:   req.Solver,
-		Instance: req.Instance,
-		Budget:   budget,
-		Seed:     req.Seed,
+		Solver:    req.Solver,
+		Instance:  req.Instance,
+		Budget:    budget,
+		Seed:      req.Seed,
+		RequestID: obs.RequestIDFrom(r.Context()),
 	}
 	if req.Matrix != nil {
 		spec.Matrix = &MatrixSpec{
@@ -285,6 +297,68 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, jobToJSON(j, r.URL.Query().Get("include") == "assignment"))
+}
+
+// traceJSON is the wire shape of a JobTrace; durations are Go duration
+// strings, elapsed offsets additionally in milliseconds for plotting.
+type traceJSON struct {
+	ID        string           `json:"id"`
+	Solver    string           `json:"solver"`
+	Instance  string           `json:"instance"`
+	State     JobState         `json:"state"`
+	RequestID string           `json:"request_id,omitempty"`
+	Phases    []spanJSON       `json:"phases"`
+	Events    []traceEventJSON `json:"events"`
+	Dropped   int64            `json:"dropped,omitempty"`
+}
+
+type spanJSON struct {
+	Phase    string `json:"phase"`
+	Start    string `json:"start"`
+	Duration string `json:"duration"`
+}
+
+type traceEventJSON struct {
+	Kind      string  `json:"kind"`
+	Lane      string  `json:"lane,omitempty"`
+	Evals     int64   `json:"evals"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Fitness   float64 `json:"fitness"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr, err := s.Trace(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	out := traceJSON{
+		ID:        tr.ID,
+		Solver:    tr.Solver,
+		Instance:  tr.Instance,
+		State:     tr.State,
+		RequestID: tr.RequestID,
+		Phases:    make([]spanJSON, len(tr.Phases)),
+		Events:    make([]traceEventJSON, len(tr.Events)),
+		Dropped:   tr.Dropped,
+	}
+	for i, p := range tr.Phases {
+		out.Phases[i] = spanJSON{
+			Phase:    p.Phase,
+			Start:    p.Start.String(),
+			Duration: p.Duration.String(),
+		}
+	}
+	for i, ev := range tr.Events {
+		out.Events[i] = traceEventJSON{
+			Kind:      ev.Kind,
+			Lane:      ev.Lane,
+			Evals:     ev.Evals,
+			ElapsedMS: float64(ev.Elapsed) / float64(time.Millisecond),
+			Fitness:   ev.Fitness,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -350,6 +424,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"cache": map[string]any{
 			"hits":    st.CacheHits,
 			"misses":  st.CacheMisses,
+			"joins":   st.CacheJoins,
 			"entries": st.CacheEntries,
 		},
 		"solvers": solvers,

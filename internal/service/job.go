@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gridsched/internal/etc"
+	"gridsched/internal/obs"
 	"gridsched/internal/solver"
 )
 
@@ -44,6 +45,9 @@ type JobSpec struct {
 	Budget solver.Budget
 	// Seed, when non-zero, reseeds the solver (see solver.WithSeed).
 	Seed uint64
+	// RequestID, when set (the HTTP layer propagates X-Request-Id),
+	// ties the job to the originating request in logs and traces.
+	RequestID string
 }
 
 // MatrixSpec is an inline ETC matrix: row-major tasks×machines
@@ -67,6 +71,8 @@ type Job struct {
 	Budget   solver.Budget
 	Seed     uint64
 	State    JobState
+	// RequestID is the submitting request's ID ("" for direct embeds).
+	RequestID string
 
 	SubmittedAt time.Time
 	StartedAt   time.Time
@@ -119,6 +125,13 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// timeline records lifecycle marks (queued → dispatched → solving →
+	// terminal state); trace captures the solver's convergence events
+	// through the observer attached to ctx. Both are concurrency-safe
+	// and read by Server.Trace while the job runs.
+	timeline obs.Timeline
+	trace    *obs.Recorder
+
 	// done is closed exactly once, when the job reaches a terminal
 	// state; Server.Wait blocks on it.
 	done chan struct{}
@@ -135,18 +148,25 @@ type job struct {
 
 func newJob(id string, spec JobSpec, sv solver.Solver, inst *etc.Instance, b solver.Budget, parent context.Context) *job {
 	ctx, cancel := context.WithCancel(parent)
-	return &job{
-		id:        id,
-		spec:      spec,
-		solver:    sv,
-		inst:      inst,
-		budget:    b,
-		ctx:       ctx,
+	trace := obs.NewRecorder(0)
+	j := &job{
+		id:     id,
+		spec:   spec,
+		solver: sv,
+		inst:   inst,
+		budget: b,
+		// Every job carries its trace recorder as the solve context's
+		// observer, so any engine the solver builds emits its
+		// convergence events into the job's trace.
+		ctx:       solver.WithObserver(ctx, trace),
 		cancel:    cancel,
+		trace:     trace,
 		done:      make(chan struct{}),
 		st:        StateQueued,
 		submitted: time.Now(),
 	}
+	j.timeline.Mark("queued")
+	return j
 }
 
 // closeDoneLocked signals waiters once the job is terminal. Callers
@@ -170,6 +190,7 @@ func (j *job) begin() bool {
 	}
 	j.st = StateRunning
 	j.started = time.Now()
+	j.timeline.Mark("solving")
 	return true
 }
 
@@ -194,6 +215,7 @@ func (j *job) finish(res *solver.Result, err error) {
 	default:
 		j.st = StateDone
 	}
+	j.timeline.Mark(string(j.st))
 	j.closeDoneLocked()
 	j.mu.Unlock()
 	j.cancel() // release the context's resources
@@ -212,6 +234,7 @@ func (j *job) requestCancel() {
 	if j.st == StateQueued {
 		j.st = StateCancelled
 		j.finished = time.Now()
+		j.timeline.Mark(string(StateCancelled))
 		j.closeDoneLocked()
 	}
 	j.mu.Unlock()
@@ -247,6 +270,7 @@ func (j *job) snapshot() Job {
 		Budget:      j.budget,
 		Seed:        j.spec.Seed,
 		State:       j.st,
+		RequestID:   j.spec.RequestID,
 		SubmittedAt: j.submitted,
 		StartedAt:   j.started,
 		FinishedAt:  j.finished,

@@ -1,0 +1,87 @@
+package service
+
+import (
+	"errors"
+	"time"
+
+	"gridsched/internal/obs"
+)
+
+// serverMetrics is the server's registered metric handles. Gauges that
+// mirror existing server state (queue depth, cache counters, retained
+// jobs) are scrape-time funcs over the authoritative structures, so
+// the metrics can never drift from /v1/stats; only event counters and
+// the busy gauge are written on the hot path.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	submitted *obs.Counter
+	rejected  *obs.CounterVec
+	finished  *obs.CounterVec
+	latency   *obs.HistogramVec
+	evals     *obs.CounterVec
+	busy      *obs.Gauge
+	http      *obs.CounterVec
+}
+
+// latencyBuckets spans 1ms to ~4.4min log-spaced — wide enough for
+// zero-budget heuristics and multi-minute GA budgets alike.
+var latencyBuckets = obs.ExpBuckets(0.001, 4, 10)
+
+func newServerMetrics(s *Server) *serverMetrics {
+	reg := obs.NewRegistry()
+	m := &serverMetrics{reg: reg}
+
+	reg.GaugeFunc("gridsched_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("gridsched_queue_depth", "Jobs waiting in the submission queue.",
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("gridsched_queue_capacity", "Capacity of the submission queue.",
+		func() float64 { return float64(s.cfg.QueueSize) })
+	reg.GaugeFunc("gridsched_workers", "Size of the solve worker pool.",
+		func() float64 { return float64(s.cfg.Workers) })
+	m.busy = reg.Gauge("gridsched_workers_busy", "Workers currently solving a job.")
+	reg.GaugeFunc("gridsched_jobs_retained", "Jobs retained in memory (all states).",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.jobs))
+		})
+
+	m.submitted = reg.Counter("gridsched_jobs_submitted_total", "Jobs accepted by Submit.")
+	m.rejected = reg.CounterVec("gridsched_jobs_rejected_total", "Jobs refused at Submit, by reason.", "reason")
+	m.finished = reg.CounterVec("gridsched_jobs_finished_total", "Jobs retired, by terminal state.", "state")
+	m.latency = reg.HistogramVec("gridsched_job_latency_seconds", "Solve wall time per job (queue wait excluded).",
+		latencyBuckets, "solver")
+	m.evals = reg.CounterVec("gridsched_job_evaluations_total", "Fitness evaluations performed by finished jobs.", "solver")
+
+	reg.CounterFunc("gridsched_cache_hits_total", "Instance cache hits on a cached entry.",
+		func() int64 { h, _, _, _ := s.cache.counters(); return h })
+	reg.CounterFunc("gridsched_cache_misses_total", "Instance cache misses (fresh generations).",
+		func() int64 { _, mi, _, _ := s.cache.counters(); return mi })
+	reg.CounterFunc("gridsched_cache_joins_total", "Requests served by joining an in-flight generation (single-flight).",
+		func() int64 { _, _, j, _ := s.cache.counters(); return j })
+	reg.GaugeFunc("gridsched_cache_entries", "Instances currently cached.",
+		func() float64 { _, _, _, e := s.cache.counters(); return float64(e) })
+
+	m.http = reg.CounterVec("gridsched_http_requests_total", "HTTP responses served, by status code and method.",
+		"code", "method")
+	return m
+}
+
+// Metrics returns the server's metric registry, for embedding in a
+// larger process's exposition. The HTTP handler already serves it at
+// GET /metrics.
+func (s *Server) Metrics() *obs.Registry { return s.met.reg }
+
+// rejectReason maps a Submit error to the rejected-counter label.
+func rejectReason(err error) string {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return "queue_full"
+	case errors.Is(err, ErrClosed):
+		return "closed"
+	default:
+		return "invalid"
+	}
+}

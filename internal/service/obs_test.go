@@ -1,0 +1,327 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gridsched/internal/obs"
+	"gridsched/internal/solver"
+)
+
+// scrape fetches and returns the /metrics exposition body.
+func scrape(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Errorf("GET /metrics content type = %q, want %q", ct, obs.ContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestMetricsEndpoint runs jobs through the service and asserts the
+// exposition covers every family the issue requires: queue and worker
+// gauges, per-solver latency histograms, cache counters, job outcome
+// counters and HTTP status counts.
+func TestMetricsEndpoint(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 2, QueueSize: 8})
+
+	for i := 0; i < 3; i++ {
+		j, err := svc.Submit(JobSpec{Solver: "minmin", Instance: "u_c_hihi.0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.Wait(context.Background(), j.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Exercise the HTTP counter with a served request before scraping.
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/stats", "", nil); code != http.StatusOK {
+		t.Fatalf("GET /v1/stats: status %d", code)
+	}
+
+	body := scrape(t, ts.URL)
+	for _, want := range []string{
+		"# TYPE gridsched_queue_depth gauge",
+		"# TYPE gridsched_queue_capacity gauge",
+		"# TYPE gridsched_workers gauge",
+		"# TYPE gridsched_workers_busy gauge",
+		"# TYPE gridsched_jobs_submitted_total counter",
+		"gridsched_jobs_submitted_total 3",
+		`gridsched_jobs_finished_total{state="done"} 3`,
+		"# TYPE gridsched_job_latency_seconds histogram",
+		`gridsched_job_latency_seconds_count{solver="minmin"} 3`,
+		`gridsched_job_latency_seconds_bucket{solver="minmin",le="+Inf"} 3`,
+		`gridsched_job_evaluations_total{solver="minmin"} 3`,
+		"# TYPE gridsched_cache_hits_total counter",
+		"gridsched_cache_misses_total 1",
+		"gridsched_cache_hits_total 2",
+		"gridsched_cache_joins_total 0",
+		"gridsched_cache_entries 1",
+		"gridsched_jobs_retained 3",
+		"# TYPE gridsched_http_requests_total counter",
+		`gridsched_http_requests_total{code="200",method="GET"}`,
+		"gridsched_uptime_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\nfull body:\n%s", want, body)
+		}
+	}
+}
+
+// TestMetricsCount429 pins that queue-full rejections surface both as
+// the rejected-jobs counter and as HTTP 429 status counts.
+func TestMetricsCount429(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 1, QueueSize: 1})
+
+	running, err := svc.Submit(JobSpec{Solver: "test-block", Instance: "u_c_hihi.0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the blocker leaves the queue for the worker, then one
+	// job fills the queue slot; the next submit must bounce.
+	pollState(t, ts.URL, running.ID, 5*time.Second, func(j jobJSON) bool { return j.State == StateRunning })
+	if _, err := svc.Submit(JobSpec{Solver: "minmin", Instance: "u_c_hihi.0"}); err != nil {
+		t.Fatal(err)
+	}
+	body := `{"solver":"minmin","instance":"u_c_hihi.0"}`
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", body, nil); code != http.StatusTooManyRequests {
+		t.Fatalf("submit into full queue: status %d, want 429", code)
+	}
+
+	m := scrape(t, ts.URL)
+	for _, want := range []string{
+		`gridsched_jobs_rejected_total{reason="queue_full"} 1`,
+		`gridsched_http_requests_total{code="429",method="POST"} 1`,
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("/metrics missing %q\nfull body:\n%s", want, m)
+		}
+	}
+	if _, err := svc.Cancel(running.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceEndpoint runs a real solver and checks the trace: lifecycle
+// phases in order, a non-empty convergence series ending in a terminal
+// event whose fitness matches the job's result.
+func TestTraceEndpoint(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 1})
+
+	j, err := svc.Submit(JobSpec{
+		Solver:   "tabu",
+		Instance: "u_c_hihi.0",
+		Budget:   solver.Budget{MaxEvaluations: 2000},
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := svc.Wait(context.Background(), j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("job state = %s, want done", final.State)
+	}
+
+	var tr traceJSON
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+j.ID+"/trace", "", &tr); code != http.StatusOK {
+		t.Fatalf("GET trace: status %d", code)
+	}
+	wantPhases := []string{"queued", "dispatched", "solving", "done"}
+	if len(tr.Phases) != len(wantPhases) {
+		t.Fatalf("got %d phases %v, want %v", len(tr.Phases), tr.Phases, wantPhases)
+	}
+	for i, p := range tr.Phases {
+		if p.Phase != wantPhases[i] {
+			t.Errorf("phase %d = %q, want %q", i, p.Phase, wantPhases[i])
+		}
+		if _, err := time.ParseDuration(p.Duration); err != nil {
+			t.Errorf("phase %d duration %q unparsable: %v", i, p.Duration, err)
+		}
+	}
+	if len(tr.Events) < 2 {
+		t.Fatalf("got %d trace events, want ≥2 (an improvement and the terminal event)", len(tr.Events))
+	}
+	last := tr.Events[len(tr.Events)-1]
+	if last.Kind != "done" {
+		t.Errorf("last event kind = %q, want done", last.Kind)
+	}
+	if last.Fitness != final.Result.Makespan {
+		t.Errorf("terminal event fitness = %v, want job makespan %v", last.Fitness, final.Result.Makespan)
+	}
+	prev := 0.0
+	for i, ev := range tr.Events[:len(tr.Events)-1] {
+		if ev.Kind != "improved" {
+			t.Errorf("event %d kind = %q, want improved", i, ev.Kind)
+		}
+		if i > 0 && ev.Fitness >= prev {
+			t.Errorf("improvement %d fitness %v not strictly below previous %v", i, ev.Fitness, prev)
+		}
+		prev = ev.Fitness
+	}
+
+	// Unknown jobs 404.
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/nope/trace", "", nil); code != http.StatusNotFound {
+		t.Errorf("GET trace for unknown job: status %d, want 404", code)
+	}
+}
+
+// TestTracePortfolioLanes checks a portfolio job's convergence series
+// carries per-lane labels from the constituent engines.
+func TestTracePortfolioLanes(t *testing.T) {
+	svc, _ := newTestServer(t, Config{Workers: 1})
+	j, err := svc.Submit(JobSpec{
+		Solver:   "portfolio",
+		Instance: "u_c_hihi.0",
+		Budget:   solver.Budget{MaxEvaluations: 4000},
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Wait(context.Background(), j.ID); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := svc.Trace(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("portfolio trace has no events")
+	}
+	lanes := map[string]bool{}
+	for _, ev := range tr.Events {
+		if ev.Kind == "improved" && ev.Lane != "" {
+			lanes[ev.Lane] = true
+		}
+	}
+	if len(lanes) == 0 {
+		t.Errorf("no improvement event carries a lane label; events: %+v", tr.Events)
+	}
+	for lane := range lanes {
+		switch lane {
+		case "pa-cga", "tabu", "h2ll":
+		default:
+			t.Errorf("unexpected lane label %q", lane)
+		}
+	}
+}
+
+// TestRequestIDPropagation pins the request-ID pipeline: the access-log
+// middleware echoes X-Request-Id, the submit handler folds it into the
+// job spec, and the trace reports it.
+func TestRequestIDPropagation(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	t.Cleanup(func() { _ = svc.Close() })
+	logger := slog.New(slog.DiscardHandler)
+	ts := httptest.NewServer(obs.AccessLog(logger, svc.Handler()))
+	t.Cleanup(ts.Close)
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs",
+		strings.NewReader(`{"solver":"minmin","instance":"u_c_hihi.0"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.RequestIDHeader, "req-test-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get(obs.RequestIDHeader); got != "req-test-42" {
+		t.Errorf("echoed request ID = %q, want req-test-42", got)
+	}
+	var j jobJSON
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Wait(context.Background(), j.ID); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := svc.Trace(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.RequestID != "req-test-42" {
+		t.Errorf("trace request ID = %q, want req-test-42", tr.RequestID)
+	}
+
+	// Without an inbound header the middleware generates a fresh ID.
+	resp2, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"solver":"minmin","instance":"u_c_hihi.0"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.Header.Get(obs.RequestIDHeader) == "" {
+		t.Error("middleware did not generate a request ID")
+	}
+}
+
+// TestScrapeWhileSubmitting hammers /metrics, /v1/stats and job
+// submission concurrently — the -race proof that scrape-time gauge
+// funcs and hot-path counters coexist with the worker pool.
+func TestScrapeWhileSubmitting(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 2, QueueSize: 64})
+
+	const submitters, scrapes = 4, 20
+	var wg sync.WaitGroup
+	ids := make([][]string, submitters)
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				j, err := svc.Submit(JobSpec{Solver: "minmin", Instance: "u_c_hihi.0"})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ids[w] = append(ids[w], j.ID)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < scrapes; i++ {
+			_ = scrape(t, ts.URL)
+			_ = svc.Stats()
+		}
+	}()
+	wg.Wait()
+	for _, batch := range ids {
+		for _, id := range batch {
+			if _, err := svc.Wait(context.Background(), id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	body := scrape(t, ts.URL)
+	want := fmt.Sprintf("gridsched_jobs_submitted_total %d", submitters*8)
+	if !strings.Contains(body, want) {
+		t.Errorf("/metrics missing %q after hammer", want)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
@@ -79,6 +80,9 @@ type Config struct {
 	// entries ≈ 16 MB per instance); negative disables the cap (for
 	// trusted embedders like the scenario sweep).
 	MaxMatrixEntries int
+	// Logger receives structured job-lifecycle records (submit, start,
+	// finish) with job and request IDs. Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +107,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxMatrixEntries == 0 {
 		c.MaxMatrixEntries = 1 << 20
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
 	return c
 }
 
@@ -114,6 +121,8 @@ type Server struct {
 	cfg   Config
 	cache *instanceCache
 	stats *statsBook
+	met   *serverMetrics
+	log   *slog.Logger
 	start time.Time
 
 	baseCtx context.Context // parent of every job context
@@ -138,12 +147,14 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		cache:   newInstanceCache(cfg.CacheSize),
 		stats:   newStatsBook(),
+		log:     cfg.Logger,
 		start:   time.Now(),
 		baseCtx: ctx,
 		stop:    cancel,
 		queue:   make(chan *job, cfg.QueueSize),
 		jobs:    make(map[string]*job),
 	}
+	s.met = newServerMetrics(s)
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -161,6 +172,22 @@ func (s *Server) Config() Config { return s.cfg }
 // here (never as a failed job), and a full queue returns ErrQueueFull
 // so callers can apply backpressure.
 func (s *Server) Submit(spec JobSpec) (Job, error) {
+	j, err := s.submit(spec)
+	if err != nil {
+		s.met.rejected.With(rejectReason(err)).Inc()
+		s.log.Warn("job rejected",
+			"solver", spec.Solver, "instance", spec.Instance,
+			"request_id", spec.RequestID, "error", err.Error())
+		return Job{}, err
+	}
+	s.met.submitted.Inc()
+	s.log.Info("job submitted",
+		"job_id", j.ID, "solver", j.Solver, "instance", j.Instance,
+		"request_id", spec.RequestID)
+	return j, nil
+}
+
+func (s *Server) submit(spec JobSpec) (Job, error) {
 	sv, err := solver.Lookup(spec.Solver)
 	if err != nil {
 		return Job{}, err
@@ -272,7 +299,7 @@ func (s *Server) Stats() Stats {
 	}
 	retained := len(s.jobs)
 	s.mu.Unlock()
-	hits, misses, entries := s.cache.counters()
+	hits, misses, joins, entries := s.cache.counters()
 	return s.stats.snapshot(statsEnv{
 		uptime:       time.Since(s.start),
 		workers:      s.cfg.Workers,
@@ -282,6 +309,7 @@ func (s *Server) Stats() Stats {
 		retained:     retained,
 		cacheHits:    hits,
 		cacheMisses:  misses,
+		cacheJoins:   joins,
 		cacheEntries: entries,
 	})
 }
@@ -352,16 +380,42 @@ func (s *Server) Close() error {
 func (s *Server) worker() {
 	defer s.workers.Done()
 	for j := range s.queue {
+		j.timeline.Mark("dispatched")
 		if j.ctx.Err() != nil {
 			j.requestCancel()
 		}
 		if j.begin() {
+			s.met.busy.Add(1)
+			s.log.Info("job started",
+				"job_id", j.id, "solver", j.spec.Solver, "instance", j.inst.Name,
+				"request_id", j.spec.RequestID)
 			res, err := j.solver.Solve(j.ctx, j.inst, j.budget)
 			j.finish(res, err)
+			s.met.busy.Add(-1)
 		}
 		// Fold the retired job (ran or cancelled-while-queued) into the
-		// per-solver counters.
-		s.stats.finished(j.spec.Solver, j.snapshot())
+		// per-solver counters and metrics.
+		snap := j.snapshot()
+		s.stats.finished(j.spec.Solver, snap)
+		s.met.finished.With(string(snap.State)).Inc()
+		attrs := []any{
+			"job_id", j.id, "solver", j.spec.Solver, "instance", j.inst.Name,
+			"request_id", j.spec.RequestID, "state", string(snap.State),
+		}
+		if !snap.StartedAt.IsZero() && !snap.FinishedAt.IsZero() {
+			latency := snap.FinishedAt.Sub(snap.StartedAt)
+			s.met.latency.With(j.spec.Solver).Observe(latency.Seconds())
+			attrs = append(attrs, "duration", latency)
+		}
+		if snap.Result != nil {
+			s.met.evals.With(j.spec.Solver).Add(snap.Result.Evaluations)
+			attrs = append(attrs, "makespan", snap.Result.Makespan,
+				"evaluations", snap.Result.Evaluations)
+		}
+		if snap.Error != "" {
+			attrs = append(attrs, "error", snap.Error)
+		}
+		s.log.Info("job finished", attrs...)
 	}
 }
 

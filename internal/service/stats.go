@@ -35,7 +35,11 @@ type Stats struct {
 	Retained      int
 	Evicted       int64
 
-	CacheHits    int64
+	CacheHits int64
+	// CacheJoins counts requests served by riding another request's
+	// in-flight generation (single-flight joins) — neither a hit on a
+	// cached entry nor a fresh miss.
+	CacheJoins   int64
 	CacheMisses  int64
 	CacheEntries int
 
@@ -108,6 +112,7 @@ type statsEnv struct {
 	retained     int
 	cacheHits    int64
 	cacheMisses  int64
+	cacheJoins   int64
 	cacheEntries int
 }
 
@@ -123,6 +128,7 @@ func (b *statsBook) snapshot(env statsEnv) Stats {
 		Retained:      env.retained,
 		Evicted:       b.evicted,
 		CacheHits:     env.cacheHits,
+		CacheJoins:    env.cacheJoins,
 		CacheMisses:   env.cacheMisses,
 		CacheEntries:  env.cacheEntries,
 	}

@@ -1,0 +1,53 @@
+package service
+
+import (
+	"time"
+
+	"gridsched/internal/obs"
+)
+
+// JobTrace is the per-job lifecycle trace: the phase spans of the
+// submit → queued → dispatched → solving → terminal state machine plus
+// the solver's convergence event series (incumbent improvements and
+// the terminal fitness, per lane for portfolio jobs).
+type JobTrace struct {
+	ID        string
+	Solver    string
+	Instance  string
+	State     JobState
+	RequestID string
+	// Phases are the lifecycle spans; the open span of a live job is
+	// measured to now.
+	Phases []obs.Span
+	// Events is the convergence series in arrival order.
+	Events []obs.RecordedEvent
+	// Dropped counts improvement events discarded past the recorder's
+	// cap (the series is still monotone — drops happen at the tail).
+	Dropped int64
+}
+
+// Trace returns the identified job's lifecycle trace. It works on live
+// jobs (the current phase is measured to now) and terminal ones alike.
+func (s *Server) Trace(id string) (JobTrace, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobTrace{}, ErrNotFound
+	}
+	snap := j.snapshot()
+	now := time.Now()
+	if snap.State.Terminal() {
+		now = time.Time{} // close the last span at its own mark
+	}
+	return JobTrace{
+		ID:        snap.ID,
+		Solver:    snap.Solver,
+		Instance:  snap.Instance,
+		State:     snap.State,
+		RequestID: snap.RequestID,
+		Phases:    j.timeline.Spans(now),
+		Events:    j.trace.Events(),
+		Dropped:   j.trace.Dropped(),
+	}, nil
+}

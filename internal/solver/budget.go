@@ -3,6 +3,7 @@ package solver
 import (
 	"context"
 	"fmt"
+	"math"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -113,6 +114,20 @@ type Engine struct {
 	// budget.MaxEvaluations > 0 — an unbounded engine has nothing to
 	// move.
 	bonus atomic.Int64
+
+	// root is the top of the parent chain (the engine itself when it has
+	// no parent): Observe charges events with the root's evaluation
+	// count and elapsed time, so a composite run's convergence trace
+	// shares one x-axis across all constituents.
+	root *Engine
+	// obs, when non-nil, receives incumbent-improvement and terminal
+	// events; lane labels them (see WithObserver / WithLane). best is
+	// the family-wide best observed fitness as float64 bits, owned by
+	// the root and shared by every child, so an "improvement" means
+	// strictly better than anything any engine in the family has seen.
+	obs  Observer
+	lane string
+	best *atomic.Uint64
 }
 
 // engineCtxKey carries a parent engine through a context (WithEngine).
@@ -160,7 +175,30 @@ func NewEngine(ctx context.Context, b Budget) *Engine {
 			e.deadline = p.deadline
 		}
 	}
+	e.initObserver(ObserverFrom(ctx), LaneFrom(ctx))
 	return e
+}
+
+// initObserver links the engine into the family's observation state:
+// the root pointer, the shared best-fitness word, and the observer.
+// An engine whose context carries no observer still inherits its
+// parent's (the composite attached it above), so a constituent engine
+// created from a bare WithEngine context keeps emitting events.
+func (e *Engine) initObserver(obs Observer, lane string) {
+	e.obs, e.lane = obs, lane
+	if e.parent != nil {
+		e.root, e.best = e.parent.root, e.parent.best
+		if e.obs == nil {
+			e.obs = e.parent.obs
+		}
+		if e.lane == "" {
+			e.lane = e.parent.lane
+		}
+		return
+	}
+	e.root = e
+	e.best = new(atomic.Uint64)
+	e.best.Store(math.Float64bits(math.Inf(1)))
 }
 
 // Child carves a child accounting engine off e for one constituent of
@@ -178,6 +216,7 @@ func (e *Engine) Child(frac float64) *Engine {
 		}
 	}
 	c := &Engine{budget: cb, ctx: e.ctx, start: time.Now(), deadline: e.deadline, parent: e}
+	c.initObserver(e.obs, e.lane)
 	if !c.deadline.IsZero() {
 		if cb.MaxDuration = time.Until(c.deadline); cb.MaxDuration <= 0 {
 			cb.MaxDuration = time.Nanosecond
@@ -363,4 +402,61 @@ func (e *Engine) StopStep(step int64) bool {
 		return true
 	}
 	return step%deadlinePollInterval == 0 && e.Expired()
+}
+
+// Observing reports whether an observer is attached. Solvers use it to
+// gate observation-only work that would otherwise cost something even
+// unobserved (scanning a population for its initial best, say); the
+// per-evaluation Observe call itself needs no gate.
+func (e *Engine) Observing() bool { return e.obs != nil }
+
+// Observe records a candidate fitness for convergence tracing. With no
+// observer attached it is a single nil check — solvers call it on the
+// breeding hot path unconditionally. With an observer, it fires
+// Observer.Improved exactly when fit strictly improves on the best
+// fitness any engine in this family has observed (one winner per value
+// under concurrency: the CAS loop publishes each improvement once).
+//
+// Fitness values must be non-negative (makespans and flowtime blends
+// are): the float64-bits comparison relies on the IEEE ordering of
+// non-negative doubles.
+func (e *Engine) Observe(fit float64) {
+	if e.obs == nil {
+		return
+	}
+	bits := math.Float64bits(fit)
+	for {
+		cur := e.best.Load()
+		if bits >= cur {
+			return
+		}
+		if e.best.CompareAndSwap(cur, bits) {
+			break
+		}
+	}
+	e.obs.Improved(e.event(fit))
+}
+
+// Finish fires the terminal convergence event for this engine's run
+// with the run's final best fitness. Solvers call it once, just before
+// assembling their Result. Only the root engine emits: a constituent
+// round of a composite run finishes a child engine, and letting every
+// round fire Done would scatter per-lane "terminal" events through a
+// trace whose run is still going — an observed run gets exactly one
+// terminal event, from whichever solver owns the root.
+func (e *Engine) Finish(fit float64) {
+	if e.obs == nil || e.root != e {
+		return
+	}
+	e.obs.Done(e.event(fit))
+}
+
+// event stamps an Event with the family-wide work and wall-time axes.
+func (e *Engine) event(fit float64) Event {
+	return Event{
+		Lane:    e.lane,
+		Evals:   e.root.Evals(),
+		Elapsed: time.Since(e.root.start),
+		Fitness: fit,
+	}
 }

@@ -1,0 +1,98 @@
+package solver
+
+import (
+	"context"
+	"time"
+)
+
+// Event is one observation emitted by a running solver through its
+// Engine: an incumbent improvement (Observer.Improved) or the end of an
+// engine's run (Observer.Done). Evals and Elapsed are measured at the
+// root of the engine family — the total work and wall time of the whole
+// run at the moment of the event — so plotting Fitness against either
+// axis reproduces the paper's anytime-performance curves directly, even
+// when the event was recorded deep inside a composite (portfolio) run.
+type Event struct {
+	// Lane labels the constituent that produced the event inside a
+	// composite run ("" for a plain single-solver run): the portfolio
+	// tags each constituent's context with its registry name, so every
+	// lane emits a separately attributable convergence trace.
+	Lane string
+	// Evals is the engine family's total evaluation count at the event.
+	Evals int64
+	// Elapsed is wall time since the root engine started.
+	Elapsed time.Duration
+	// Fitness is the observed fitness (makespan under the default
+	// objective). For Improved events it strictly improves on every
+	// fitness the engine family observed before; for Done events it is
+	// the run's final best.
+	Fitness float64
+}
+
+// Observer receives convergence events from solver engines. Callbacks
+// may fire concurrently from any solver worker goroutine, so
+// implementations must be safe for concurrent use, and they run inline
+// on the breeding path — keep them cheap (an atomic bump, a
+// mutex-guarded append), never blocking.
+//
+// Attach an observer with WithObserver; solvers pick it up through
+// NewEngine with no signature changes. A nil observer costs one nil
+// check per observation (see Engine.Observe).
+type Observer interface {
+	// Improved reports a strict improvement of the engine family's best
+	// observed fitness.
+	Improved(Event)
+	// Done reports the end of one engine's run with its final best
+	// fitness. A composite run emits one Done per constituent round
+	// (lane-labelled) plus one for the composite itself ("" lane).
+	Done(Event)
+}
+
+// observerCtxKey carries an Observer through a context (WithObserver);
+// laneCtxKey carries the lane label for composite runs (WithLane).
+type (
+	observerCtxKey struct{}
+	laneCtxKey     struct{}
+)
+
+// WithObserver returns a context that attaches obs to every engine
+// subsequently created from it: solvers run under the returned context
+// emit convergence events with no Solve-signature changes. A nil obs
+// returns ctx unchanged.
+func WithObserver(ctx context.Context, obs Observer) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if obs == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, observerCtxKey{}, obs)
+}
+
+// ObserverFrom returns the observer carried by ctx, or nil.
+func ObserverFrom(ctx context.Context) Observer {
+	if ctx == nil {
+		return nil
+	}
+	obs, _ := ctx.Value(observerCtxKey{}).(Observer)
+	return obs
+}
+
+// WithLane returns a context that labels every engine subsequently
+// created from it with the given lane name. Composite solvers wrap each
+// constituent's context so the constituent's events carry its lane.
+func WithLane(ctx context.Context, lane string) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, laneCtxKey{}, lane)
+}
+
+// LaneFrom returns the lane label carried by ctx ("" when unlabelled).
+func LaneFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	lane, _ := ctx.Value(laneCtxKey{}).(string)
+	return lane
+}

@@ -102,6 +102,7 @@ func (s H2LLSolver) Solve(ctx context.Context, inst *etc.Instance, b solver.Budg
 	eng.AddEvals(1)
 	best := cur.Clone()
 	bestFit := cur.Makespan()
+	eng.Observe(bestFit)
 
 	ls := operators.H2LL{Candidates: s.Candidates}
 	var sweeps, moves int64
@@ -117,7 +118,9 @@ func (s H2LLSolver) Solve(ctx context.Context, inst *etc.Instance, b solver.Budg
 		moves += int64(ls.Apply(cur, r))
 		eng.AddEvals(iters)
 		sweeps++
-		if f := cur.Makespan(); f < bestFit {
+		f := cur.Makespan()
+		eng.Observe(f)
+		if f < bestFit {
 			best.CopyFrom(cur)
 			bestFit = f
 		} else {
@@ -129,6 +132,7 @@ func (s H2LLSolver) Solve(ctx context.Context, inst *etc.Instance, b solver.Budg
 		}
 	}
 
+	eng.Finish(bestFit)
 	return &solver.Result{
 		Best:             best,
 		BestFitness:      bestFit,

@@ -88,6 +88,7 @@ func (s Solver) Solve(ctx context.Context, inst *etc.Instance, b solver.Budget) 
 	eng.AddEvals(1)
 	best := cur.Clone()
 	bestFit := cur.Makespan()
+	eng.Observe(bestFit)
 
 	search := s.Search
 	chunk := int64(search.maxIters())
@@ -104,7 +105,9 @@ func (s Solver) Solve(ctx context.Context, inst *etc.Instance, b solver.Budget) 
 		moves += int64(search.Apply(cur, r))
 		eng.AddEvals(iters)
 		sweeps++
-		if f := cur.Makespan(); f < bestFit {
+		f := cur.Makespan()
+		eng.Observe(f)
+		if f < bestFit {
 			best.CopyFrom(cur)
 			bestFit = f
 		} else {
@@ -116,6 +119,7 @@ func (s Solver) Solve(ctx context.Context, inst *etc.Instance, b solver.Budget) 
 		}
 	}
 
+	eng.Finish(bestFit)
 	return &solver.Result{
 		Best:             best,
 		BestFitness:      bestFit,

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"gridsched/internal/obs"
 	"gridsched/internal/solver"
 )
 
@@ -75,6 +76,7 @@ func Conformance(t *testing.T, name string) {
 	t.Run("SeedDeterminism", func(t *testing.T) { checkSeedDeterminism(t, s) })
 	t.Run("Cancellation", func(t *testing.T) { checkCancellation(t, s) })
 	t.Run("NoGoroutineLeak", func(t *testing.T) { checkNoGoroutineLeak(t, s) })
+	t.Run("Observer", func(t *testing.T) { checkObserver(t, s) })
 }
 
 // solveOutcome is one bounded Solve call, joined with a deadline so a
@@ -259,6 +261,81 @@ func checkCancellation(t *testing.T, s solver.Solver) {
 		requireValidResult(t, out.res)
 	}
 	t.Logf("cancelled after 25ms, returned after %v (err=%v)", time.Since(start), out.err)
+}
+
+// checkObserver pins the convergence-instrumentation contract: an
+// observed run emits at least one incumbent improvement and exactly one
+// terminal event consistent with its result, and observing changes no
+// bit of the result relative to the unobserved run (the Observer hook
+// must be read-only).
+func checkObserver(t *testing.T, s solver.Solver) {
+	if !solver.IsReproducible(s) {
+		t.Skip("solver does not declare seed reproducibility (cannot compare observed vs unobserved runs)")
+	}
+	b := solver.Budget{MaxEvaluations: EvalBudget}
+	plain := boundedSolve(t, seeded(s), context.Background(), b, ReturnGrace)
+	rec := obs.NewRecorder(0)
+	observed := boundedSolve(t, seeded(s), solver.WithObserver(context.Background(), rec), b, ReturnGrace)
+	if plain.err != nil || observed.err != nil {
+		t.Fatalf("Solve: %v / %v", plain.err, observed.err)
+	}
+	requireValidResult(t, plain.res)
+	requireValidResult(t, observed.res)
+
+	// Observation must be invisible to the run itself.
+	if plain.res.BestFitness != observed.res.BestFitness {
+		t.Errorf("observing changed the result: fitness %v vs %v", plain.res.BestFitness, observed.res.BestFitness)
+	}
+	if d := plain.res.Best.HammingDistance(observed.res.Best); d != 0 {
+		t.Errorf("observing changed the best schedule in %d assignments", d)
+	}
+	if plain.res.Evaluations != observed.res.Evaluations {
+		t.Errorf("observing changed the evaluation count: %d vs %d", plain.res.Evaluations, observed.res.Evaluations)
+	}
+	if plain.res.Generations != observed.res.Generations {
+		t.Errorf("observing changed the generation count: %d vs %d", plain.res.Generations, observed.res.Generations)
+	}
+
+	events := rec.Events()
+	var improvements []obs.RecordedEvent
+	var dones []obs.RecordedEvent
+	for _, e := range events {
+		switch e.Kind {
+		case "improved":
+			improvements = append(improvements, e)
+		case "done":
+			dones = append(dones, e)
+		default:
+			t.Errorf("unknown event kind %q", e.Kind)
+		}
+		if e.Evals <= 0 || e.Evals > observed.res.Evaluations {
+			t.Errorf("event %s at evals %d outside (0, %d]", e.Kind, e.Evals, observed.res.Evaluations)
+		}
+		if e.Elapsed < 0 {
+			t.Errorf("event %s has negative elapsed %v", e.Kind, e.Elapsed)
+		}
+	}
+	if len(improvements) == 0 {
+		t.Fatal("observed run emitted no incumbent-improvement events")
+	}
+	if len(dones) != 1 {
+		t.Fatalf("observed run emitted %d terminal events, want exactly 1", len(dones))
+	}
+	if events[len(events)-1].Kind != "done" {
+		t.Error("terminal event is not the last event")
+	}
+	// The engine's shared-incumbent CAS admits only strict improvements.
+	for i := 1; i < len(improvements); i++ {
+		if improvements[i].Fitness >= improvements[i-1].Fitness {
+			t.Errorf("improvement %d does not improve: %v after %v", i, improvements[i].Fitness, improvements[i-1].Fitness)
+		}
+	}
+	if last := improvements[len(improvements)-1].Fitness; !approxEq(last, observed.res.BestFitness) {
+		t.Errorf("last improvement %v does not match BestFitness %v", last, observed.res.BestFitness)
+	}
+	if !approxEq(dones[0].Fitness, observed.res.BestFitness) {
+		t.Errorf("terminal event fitness %v does not match BestFitness %v", dones[0].Fitness, observed.res.BestFitness)
+	}
 }
 
 func checkNoGoroutineLeak(t *testing.T, s solver.Solver) {
