@@ -25,6 +25,12 @@
 // inbound X-Request-Id header (or generated), echoed on the response,
 // and propagated into the job's lifecycle logs and trace.
 //
+// With -instdb the daemon serves named instances from a pre-generated
+// binary store (built by cmd/instdb) instead of regenerating them
+// behind the LRU cache; SIGHUP atomically hot-reloads the store file,
+// so a regenerated corpus is picked up without a restart (a corrupt
+// file is rejected and the serving snapshot stays in place).
+//
 // On SIGINT/SIGTERM the daemon drains gracefully: the listener stops
 // accepting, queued and running jobs get -drain-grace to finish, and
 // whatever is still running after the grace period is cancelled
@@ -44,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"gridsched/internal/instdb"
 	"gridsched/internal/obs"
 	"gridsched/internal/service"
 )
@@ -63,6 +70,7 @@ func main() {
 		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of logfmt-style text")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		withPprof = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (opt-in: exposes internals)")
+		storePath = flag.String("instdb", "", "pre-generated instance store file (built by cmd/instdb; SIGHUP hot-reloads it)")
 	)
 	flag.Parse()
 
@@ -77,14 +85,48 @@ func main() {
 	}
 	logger := slog.New(handler)
 
-	svc := service.New(service.Config{
+	var db *instdb.DB
+	if *storePath != "" {
+		var err error
+		db, err = instdb.Open(*storePath)
+		if err != nil {
+			log.Fatalf("open instance store: %v", err)
+		}
+		log.Printf("instance store %s: %d instances", *storePath, db.Len())
+	}
+
+	cfg := service.Config{
 		Workers:     *workers,
 		QueueSize:   *queue,
 		ResultTTL:   *ttl,
 		CacheSize:   *cache,
 		MaxDuration: *maxDur,
 		Logger:      logger,
-	})
+	}
+	if db != nil {
+		cfg.InstanceDB = db
+	}
+	svc := service.New(cfg)
+
+	if db != nil {
+		// SIGHUP hot-reloads the store: the new file is opened and
+		// validated off to the side, then swapped in atomically; in-flight
+		// jobs keep their old snapshot, and a corrupt file leaves the
+		// current corpus serving.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				if err := db.Reload(); err != nil {
+					logger.Error("instdb reload failed; keeping current snapshot",
+						"path", db.Path(), "err", err)
+					continue
+				}
+				logger.Info("instdb reloaded",
+					"path", db.Path(), "instances", db.Len(), "reloads", db.Reloads())
+			}
+		}()
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", svc.Handler())

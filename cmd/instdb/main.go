@@ -1,0 +1,160 @@
+// Command instdb builds, inspects and verifies binary instance store
+// files — the pre-generated ETC corpora gridschedd serves with
+// -instdb and the load harness (cmd/loadgen) hammers.
+//
+// Usage:
+//
+//	instdb build -o corpus.gsdb [-suite] [-sizes 512x16,128x8] [name...]
+//	instdb inspect corpus.gsdb
+//	instdb verify [-regen] corpus.gsdb
+//
+// build generates the named benchmark instances ("u_c_hihi.0",
+// optionally sized "u_c_hihi.0@128x8") and writes one store file;
+// -suite expands to the paper's full 12-class benchmark at every
+// -sizes dimension. inspect prints the corpus shape and contents.
+// verify re-decodes the file and structurally validates every
+// instance; with -regen it also regenerates each matrix from its
+// class seed and requires bit-exact equality with the stored data.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"gridsched/internal/etc"
+	"gridsched/internal/instdb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("instdb: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "build":
+		runBuild(os.Args[2:])
+	case "inspect":
+		runInspect(os.Args[2:])
+	case "verify":
+		runVerify(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		log.Printf("unknown subcommand %q", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  instdb build -o FILE [-suite] [-sizes TxM,...] [name...]   generate instances into a store file
+  instdb inspect FILE                                        print corpus shape and contents
+  instdb verify [-regen] FILE                                validate a store file`)
+}
+
+// runBuild assembles the instance name list (explicit names plus the
+// optional -suite × -sizes expansion) and writes the store file.
+func runBuild(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	out := fs.String("o", "", "output store file (required; written atomically)")
+	suite := fs.Bool("suite", false, "include the full 12-class benchmark suite")
+	sizes := fs.String("sizes", "", "comma-separated TxM dimensions for -suite (default: the benchmark's native 512x16)")
+	fs.Parse(args)
+	if *out == "" {
+		log.Fatal("build: -o FILE is required")
+	}
+
+	names := append([]string(nil), fs.Args()...)
+	if *suite {
+		suffixes := []string{""}
+		if *sizes != "" {
+			suffixes = suffixes[:0]
+			for _, sz := range strings.Split(*sizes, ",") {
+				sz = strings.TrimSpace(sz)
+				if sz == "" {
+					continue
+				}
+				suffixes = append(suffixes, "@"+sz)
+			}
+		}
+		for _, cl := range etc.AllClasses() {
+			for _, suf := range suffixes {
+				names = append(names, cl.Name()+suf)
+			}
+		}
+	}
+	if len(names) == 0 {
+		log.Fatal("build: nothing to build — pass instance names and/or -suite")
+	}
+	sort.Strings(names)
+
+	st, err := instdb.BuildFile(*out, names)
+	if err != nil {
+		log.Fatalf("build: %v", err)
+	}
+	fmt.Printf("wrote %s: %d instances, %d unique matrices, %d data bytes, %d file bytes\n",
+		*out, st.Instances, st.UniqueMatrices, st.DataBytes, st.FileBytes)
+}
+
+// runInspect decodes the file and prints its shape and every instance
+// record.
+func runInspect(args []string) {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal("inspect: exactly one FILE argument")
+	}
+	path := fs.Arg(0)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("inspect: %v", err)
+	}
+	store, err := instdb.Decode(buf)
+	if err != nil {
+		log.Fatalf("inspect: %s: %v", path, err)
+	}
+	st := store.Stats()
+	fmt.Printf("%s: format %s v%d, built %s\n", path, instdb.Magic, instdb.Version,
+		st.BuildTime.UTC().Format("2006-01-02T15:04:05Z"))
+	fmt.Printf("  %d instances, %d unique matrices, %d data bytes (%d file bytes)\n",
+		st.Instances, st.UniqueMatrices, st.DataBytes, len(buf))
+	for _, name := range store.Names() {
+		in, _ := store.Get(name)
+		fmt.Printf("  %-24s %4dx%-3d %s\n", name, in.T, in.M, in.ClassTag.Name())
+	}
+}
+
+// runVerify decodes and validates the file; -regen additionally checks
+// bit-exactness against on-demand generation.
+func runVerify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	regen := fs.Bool("regen", false, "also regenerate every instance and require bit-exact equality")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal("verify: exactly one FILE argument")
+	}
+	path := fs.Arg(0)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("verify: %v", err)
+	}
+	store, err := instdb.Decode(buf)
+	if err != nil {
+		log.Fatalf("verify: %s: decode: %v", path, err)
+	}
+	if err := store.Verify(*regen); err != nil {
+		log.Fatalf("verify: %s: %v", path, err)
+	}
+	mode := "structural"
+	if *regen {
+		mode = "structural + bit-exact regeneration"
+	}
+	fmt.Printf("%s: OK (%d instances, %s)\n", path, store.Len(), mode)
+}

@@ -1,0 +1,108 @@
+// Command loadgen drives the scheduling service with closed-loop load
+// and reports achieved throughput plus submit and end-to-end latency
+// percentiles.
+//
+// Usage:
+//
+//	loadgen -addr http://host:8080 -d 30s -c 8 -solvers minmin:3,tabu:1
+//	loadgen -d 5s -store corpus.gsdb          # self-contained: in-process server
+//
+// Without -addr, loadgen starts an in-process service (optionally
+// backed by an instdb store file via -store) on a loopback listener
+// and hammers that — a self-contained smoke/benchmark mode used by CI.
+// With -qps the aggregate submission rate is paced; otherwise each of
+// the -c clients keeps exactly one job in flight.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gridsched/internal/instdb"
+	"gridsched/internal/loadgen"
+	"gridsched/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+
+	var (
+		addr      = flag.String("addr", "", "target service base URL (empty = start an in-process server)")
+		storePath = flag.String("store", "", "instdb store file backing the in-process server (only without -addr)")
+		workers   = flag.Int("workers", 0, "in-process server worker count (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "in-process server queue capacity")
+		conc      = flag.Int("c", 4, "closed-loop client count")
+		qps       = flag.Float64("qps", 0, "target aggregate submissions/s (0 = unpaced closed loop)")
+		duration  = flag.Duration("d", 10*time.Second, "measured load duration")
+		warmup    = flag.Duration("warmup", time.Second, "warmup lead time excluded from the report")
+		solvers   = flag.String("solvers", "minmin", "weighted solver mix, e.g. minmin:3,tabu:1")
+		instances = flag.String("instances", "u_c_hihi.0@64x8", "weighted instance mix, e.g. u_c_hihi.0@64x8:2,u_i_lolo.0@64x8:1")
+		maxEvals  = flag.Int64("max-evals", 0, "per-job evaluation budget (0 = none)")
+		seed      = flag.Uint64("seed", 1, "mix draw seed")
+		asJSON    = flag.Bool("json", false, "emit the report as JSON instead of text")
+	)
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		cfg := service.Config{Workers: *workers, QueueSize: *queue}
+		if *storePath != "" {
+			db, err := instdb.Open(*storePath)
+			if err != nil {
+				log.Fatalf("open store: %v", err)
+			}
+			cfg.InstanceDB = db
+			log.Printf("in-process server backed by %s (%d instances)", *storePath, db.Len())
+		}
+		svc := service.New(cfg)
+		ts := httptest.NewServer(svc.Handler())
+		defer func() {
+			ts.Close()
+			if err := svc.Close(); err != nil {
+				log.Printf("service close: %v", err)
+			}
+		}()
+		base = ts.URL
+		log.Printf("in-process server at %s (%d workers, queue %d)", base, svc.Config().Workers, svc.Config().QueueSize)
+	} else if *storePath != "" {
+		log.Fatal("-store only applies to the in-process server (drop -addr)")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:        base,
+		Client:         &http.Client{Timeout: 30 * time.Second},
+		Concurrency:    *conc,
+		TargetQPS:      *qps,
+		Duration:       *duration,
+		Warmup:         *warmup,
+		SolverMix:      *solvers,
+		InstanceMix:    *instances,
+		MaxEvaluations: *maxEvals,
+		Seed:           *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Print(rep.String())
+}

@@ -46,6 +46,7 @@ import (
 	"gridsched/internal/experiments"
 	"gridsched/internal/gridsim"
 	"gridsched/internal/heuristics"
+	"gridsched/internal/instdb"
 	"gridsched/internal/islands"
 	"gridsched/internal/operators"
 	"gridsched/internal/rng"
@@ -402,6 +403,28 @@ var (
 // NewService starts a scheduling service; stop it with Shutdown (or
 // Close for an immediate cancel-and-drain).
 func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// --- Instance store ---
+
+// InstanceStore is a decoded binary repository of pre-generated ETC
+// instances (built by cmd/instdb): lookups are zero-copy, zero-alloc
+// views over one shared arena. Plug it into ServiceConfig.InstanceDB
+// to serve named instances without on-demand generation.
+type InstanceStore = instdb.Store
+
+// InstanceDB wraps an InstanceStore file with atomic hot reload:
+// Reload swaps in a freshly decoded snapshot while readers holding the
+// old one stay valid (gridschedd triggers it on SIGHUP).
+type InstanceDB = instdb.DB
+
+// BuildInstanceStore generates the named benchmark instances and
+// writes a store file atomically (see instdb.BuildFile).
+func BuildInstanceStore(path string, names []string) (instdb.BuildStats, error) {
+	return instdb.BuildFile(path, names)
+}
+
+// OpenInstanceStore opens a store file for serving with hot reload.
+func OpenInstanceStore(path string) (*InstanceDB, error) { return instdb.Open(path) }
 
 // --- Scenario sweep (solver × benchmark-class matrix) ---
 

@@ -569,6 +569,12 @@ func Benchmark() ([]*Instance, error) {
 	return out, nil
 }
 
+// ClassSeed derives the stable per-class generation seed used by
+// GenerateByName and Benchmark, so external stores (the binary
+// instance repository) can record the provenance of a pre-generated
+// matrix.
+func ClassSeed(cl Class) uint64 { return classSeed(cl) }
+
 // classSeed derives a stable seed per class so the synthetic benchmark is
 // reproducible across runs and machines.
 func classSeed(cl Class) uint64 {

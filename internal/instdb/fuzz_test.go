@@ -1,0 +1,128 @@
+package instdb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// FuzzInstDB hammers Decode with hostile bytes: truncated and corrupt
+// headers, out-of-bounds offsets and counts, forged metadata. The
+// contract under attack is "error or valid store, never a panic" — and
+// when a mutated image does decode, every instance it serves must still
+// be structurally valid (the solvers trust what Get returns).
+func FuzzInstDB(f *testing.F) {
+	// Seed with a real store image plus systematic truncations and
+	// single-byte corruptions of it, so the fuzzer starts on the format's
+	// interesting surfaces instead of random noise.
+	var buf bytes.Buffer
+	if _, err := Build(&buf, []string{"u_c_hihi.0@32x4", "u_i_lolo.0@16x4", "u_s_hilo.0@32x4"}); err != nil {
+		f.Fatal(err)
+	}
+	img := buf.Bytes()
+	f.Add(img)
+	for _, n := range []int{0, 7, 8, HeaderSize - 1, HeaderSize, HeaderSize + 9, len(img) / 2, len(img) - 1} {
+		f.Add(img[:n])
+	}
+	for _, off := range []int{0, 9, 17, 25, 33, 41, 49, 57, HeaderSize + 3} {
+		bad := append([]byte(nil), img...)
+		bad[off] ^= 0x5A
+		f.Add(bad)
+	}
+	// A header claiming maximal blocks over a tiny body.
+	huge := append([]byte(nil), img[:HeaderSize]...)
+	for _, off := range []int{16, 24, 32, 40, 48, 56} {
+		binary.LittleEndian.PutUint64(huge[off:], ^uint64(0)>>1)
+	}
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(data)
+		if err != nil {
+			return
+		}
+		for _, name := range st.Names() {
+			in, ok := st.Get(name)
+			if !ok || in == nil {
+				t.Fatalf("listed instance %q not gettable", name)
+			}
+			if err := in.Validate(); err != nil {
+				t.Fatalf("decoded store served an invalid instance %q: %v", name, err)
+			}
+		}
+	})
+}
+
+// TestConcurrentGetDuringReload is the -race hammer for the RCU swap:
+// readers resolve instances full-tilt while another goroutine reloads
+// the corpus (alternating between two builds) as fast as it can. Any
+// torn pointer, freed-under-reader arena or map race trips the
+// detector.
+func TestConcurrentGetDuringReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hammer.instdb")
+	small := []string{"u_c_hihi.0@32x4", "u_i_lolo.0@16x4"}
+	big := append(append([]string(nil), small...), "u_s_hilo.0@32x4", "u_c_lolo.0@16x4")
+	if _, err := BuildFile(path, small); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const reloads = 50
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// The small names exist in both corpora: every read must
+				// succeed regardless of which snapshot it lands on.
+				for _, name := range small {
+					in, ok := db.Get(name)
+					if !ok {
+						t.Error("instance vanished during reload")
+						return
+					}
+					if in.Row[0] <= 0 {
+						t.Error("unreadable plane during reload")
+						return
+					}
+				}
+				snap := db.Snapshot()
+				for _, name := range snap.Names() {
+					if _, ok := snap.Get(name); !ok {
+						t.Error("snapshot inconsistent with its own name list")
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < reloads; i++ {
+		names := small
+		if i%2 == 0 {
+			names = big
+		}
+		if _, err := BuildFile(path, names); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Reload(); err != nil {
+			t.Fatalf("reload %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := db.Reloads(); got != reloads {
+		t.Fatalf("Reloads = %d, want %d", got, reloads)
+	}
+}

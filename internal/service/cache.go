@@ -130,6 +130,16 @@ func (s *Server) resolveInstance(spec JobSpec) (*etc.Instance, error) {
 		}
 		return etc.New(name, m.Tasks, m.Machines, m.ETC)
 	case spec.Instance != "":
+		// The pre-generated store is consulted first: a stored corpus is
+		// operator-provided (trusted like a negative MaxMatrixEntries),
+		// serves a shared zero-copy view, and keeps the LRU free for
+		// names outside the corpus.
+		if db := s.cfg.InstanceDB; db != nil {
+			if in, ok := db.Get(spec.Instance); ok {
+				s.storeServes.Add(1)
+				return in, nil
+			}
+		}
 		if _, tasks, machines, err := etc.ParseSizedName(spec.Instance); err == nil {
 			if tasks == 0 {
 				tasks = etc.DefaultTasks

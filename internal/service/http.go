@@ -427,6 +427,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"joins":   st.CacheJoins,
 			"entries": st.CacheEntries,
 		},
+		"store": map[string]any{
+			"serves":    st.StoreServes,
+			"instances": st.StoreInstances,
+		},
 		"solvers": solvers,
 	})
 }

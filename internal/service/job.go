@@ -139,6 +139,13 @@ type job struct {
 	mu        sync.Mutex
 	st        JobState
 	cancelReq bool
+	// dequeued records that a worker pulled the job off the queue
+	// channel. A job cancelled while queued turns terminal immediately
+	// but still occupies its channel slot until a worker drains it; the
+	// janitor must not evict such a job, or the worker would later
+	// retire a ghost the job map no longer knows (and Job/Wait/Trace
+	// would 404 a job the service still holds a reference to).
+	dequeued  bool
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -250,11 +257,21 @@ func (j *job) state() JobState {
 	return j.st
 }
 
-// doneAt reports whether the job is terminal and since when.
-func (j *job) doneAt() (bool, time.Time) {
+// markDequeued records that a worker drained the job from the queue
+// channel; from here on the janitor may evict it once terminal.
+func (j *job) markDequeued() {
+	j.mu.Lock()
+	j.dequeued = true
+	j.mu.Unlock()
+}
+
+// evictable reports whether the janitor may drop the job: terminal,
+// finished before the retention cutoff, and no longer sitting in the
+// queue channel.
+func (j *job) evictable(cutoff time.Time) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.st.Terminal(), j.finished
+	return j.st.Terminal() && j.dequeued && j.finished.Before(cutoff)
 }
 
 // snapshot builds the public view under the job lock.

@@ -34,23 +34,25 @@ func newServerMetrics(s *Server) *serverMetrics {
 
 	reg.GaugeFunc("gridsched_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
-	reg.GaugeFunc("gridsched_queue_depth", "Jobs waiting in the submission queue.",
-		func() float64 { return float64(len(s.queue)) })
+	// Depth is state-derived (jobs still in StateQueued), not
+	// len(s.queue): a job cancelled while queued stays in the channel
+	// until a worker drains it, and counting that dead slot made this
+	// gauge drift from the Queued field of /v1/stats. Both now read
+	// liveCounts, the single source.
+	reg.GaugeFunc("gridsched_queue_depth", "Jobs queued awaiting dispatch (state-derived; matches /v1/stats).",
+		func() float64 { q, _, _ := s.liveCounts(); return float64(q) })
 	reg.GaugeFunc("gridsched_queue_capacity", "Capacity of the submission queue.",
 		func() float64 { return float64(s.cfg.QueueSize) })
 	reg.GaugeFunc("gridsched_workers", "Size of the solve worker pool.",
 		func() float64 { return float64(s.cfg.Workers) })
 	m.busy = reg.Gauge("gridsched_workers_busy", "Workers currently solving a job.")
 	reg.GaugeFunc("gridsched_jobs_retained", "Jobs retained in memory (all states).",
-		func() float64 {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			return float64(len(s.jobs))
-		})
+		func() float64 { _, _, r := s.liveCounts(); return float64(r) })
 
 	m.submitted = reg.Counter("gridsched_jobs_submitted_total", "Jobs accepted by Submit.")
 	m.rejected = reg.CounterVec("gridsched_jobs_rejected_total", "Jobs refused at Submit, by reason.", "reason")
-	m.finished = reg.CounterVec("gridsched_jobs_finished_total", "Jobs retired, by terminal state.", "state")
+	m.finished = reg.CounterVec("gridsched_jobs_finished_total",
+		"Jobs retired, by terminal state; a run whose solver panicked counts under the panic label (the job itself reports state failed).", "state")
 	m.latency = reg.HistogramVec("gridsched_job_latency_seconds", "Solve wall time per job (queue wait excluded).",
 		latencyBuckets, "solver")
 	m.evals = reg.CounterVec("gridsched_job_evaluations_total", "Fitness evaluations performed by finished jobs.", "solver")
@@ -63,6 +65,16 @@ func newServerMetrics(s *Server) *serverMetrics {
 		func() int64 { _, _, j, _ := s.cache.counters(); return j })
 	reg.GaugeFunc("gridsched_cache_entries", "Instances currently cached.",
 		func() float64 { _, _, _, e := s.cache.counters(); return float64(e) })
+
+	reg.CounterFunc("gridsched_store_serves_total", "Named-instance resolutions served by the pre-generated instance store.",
+		func() int64 { return s.storeServes.Load() })
+	reg.GaugeFunc("gridsched_store_instances", "Instances held by the configured instance store (0 without one).",
+		func() float64 {
+			if db := s.cfg.InstanceDB; db != nil {
+				return float64(db.Len())
+			}
+			return 0
+		})
 
 	m.http = reg.CounterVec("gridsched_http_requests_total", "HTTP responses served, by status code and method.",
 		"code", "method")

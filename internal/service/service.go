@@ -23,9 +23,12 @@ import (
 	"fmt"
 	"log/slog"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"gridsched/internal/etc"
 	"gridsched/internal/solver"
 
 	// The service dispatches by registry name; force-link every
@@ -83,6 +86,25 @@ type Config struct {
 	// Logger receives structured job-lifecycle records (submit, start,
 	// finish) with job and request IDs. Nil discards them.
 	Logger *slog.Logger
+	// InstanceDB, when set, is a read-only repository of pre-generated
+	// instances (an instdb store) consulted before the generation cache
+	// for named instances. A store hit serves a shared zero-copy view
+	// with no generation, no lock and no LRU churn; names the store
+	// does not hold fall back to on-demand generation through the
+	// cache. The store is operator-provided and therefore trusted: a
+	// stored instance is served even past MaxMatrixEntries.
+	InstanceDB InstanceStore
+}
+
+// InstanceStore is the read-only instance repository the server
+// consults before generating matrices on demand — implemented by
+// instdb.Store and (reloadably) instdb.DB.
+type InstanceStore interface {
+	// Get returns the named instance and whether the store holds it.
+	// Returned instances are shared and must be immutable.
+	Get(name string) (*etc.Instance, bool)
+	// Len is the number of instances currently held.
+	Len() int
 }
 
 func (c Config) withDefaults() Config {
@@ -131,6 +153,10 @@ type Server struct {
 	queue   chan *job
 	workers sync.WaitGroup
 	janitor sync.WaitGroup
+
+	// storeServes counts named-instance resolutions served by the
+	// configured InstanceDB (vs cache hits/misses/joins).
+	storeServes atomic.Int64
 
 	mu     sync.Mutex
 	closed bool
@@ -285,10 +311,16 @@ func (s *Server) Cancel(id string) (Job, error) {
 	return j.snapshot(), nil
 }
 
-// Stats returns the service-level and per-solver counters.
-func (s *Server) Stats() Stats {
+// liveCounts derives the queued/running/retained gauges from the job
+// map, the one authoritative source. Both Stats and the /metrics
+// gauges read it, so the two surfaces cannot disagree: a job cancelled
+// while queued turns terminal immediately and stops counting as
+// queued everywhere at once, even though it still occupies a queue
+// channel slot until a worker drains it (len(s.queue), the previous
+// metric source, kept counting it and drifted from /v1/stats).
+func (s *Server) liveCounts() (queued, running, retained int) {
 	s.mu.Lock()
-	queued, running := 0, 0
+	defer s.mu.Unlock()
 	for _, j := range s.jobs {
 		switch j.state() {
 		case StateQueued:
@@ -297,10 +329,14 @@ func (s *Server) Stats() Stats {
 			running++
 		}
 	}
-	retained := len(s.jobs)
-	s.mu.Unlock()
+	return queued, running, len(s.jobs)
+}
+
+// Stats returns the service-level and per-solver counters.
+func (s *Server) Stats() Stats {
+	queued, running, retained := s.liveCounts()
 	hits, misses, joins, entries := s.cache.counters()
-	return s.stats.snapshot(statsEnv{
+	env := statsEnv{
 		uptime:       time.Since(s.start),
 		workers:      s.cfg.Workers,
 		queueCap:     s.cfg.QueueSize,
@@ -311,7 +347,12 @@ func (s *Server) Stats() Stats {
 		cacheMisses:  misses,
 		cacheJoins:   joins,
 		cacheEntries: entries,
-	})
+		storeServes:  s.storeServes.Load(),
+	}
+	if db := s.cfg.InstanceDB; db != nil {
+		env.storeInstances = db.Len()
+	}
+	return s.stats.snapshot(env)
 }
 
 // BeginDrain marks the server draining without waiting: submits are
@@ -380,16 +421,20 @@ func (s *Server) Close() error {
 func (s *Server) worker() {
 	defer s.workers.Done()
 	for j := range s.queue {
+		j.markDequeued()
 		j.timeline.Mark("dispatched")
 		if j.ctx.Err() != nil {
 			j.requestCancel()
 		}
+		panicked := false
 		if j.begin() {
 			s.met.busy.Add(1)
 			s.log.Info("job started",
 				"job_id", j.id, "solver", j.spec.Solver, "instance", j.inst.Name,
 				"request_id", j.spec.RequestID)
-			res, err := j.solver.Solve(j.ctx, j.inst, j.budget)
+			var res *solver.Result
+			var err error
+			res, err, panicked = s.solve(j)
 			j.finish(res, err)
 			s.met.busy.Add(-1)
 		}
@@ -397,7 +442,11 @@ func (s *Server) worker() {
 		// per-solver counters and metrics.
 		snap := j.snapshot()
 		s.stats.finished(j.spec.Solver, snap)
-		s.met.finished.With(string(snap.State)).Inc()
+		finishLabel := string(snap.State)
+		if panicked {
+			finishLabel = "panic"
+		}
+		s.met.finished.With(finishLabel).Inc()
 		attrs := []any{
 			"job_id", j.id, "solver", j.spec.Solver, "instance", j.inst.Name,
 			"request_id", j.spec.RequestID, "state", string(snap.State),
@@ -419,6 +468,24 @@ func (s *Server) worker() {
 	}
 }
 
+// solve runs the job's solver, containing panics. A solver that
+// panics must not kill the worker goroutine: before this guard the
+// pool silently shrank one panic at a time, the panicking job never
+// reached a terminal state, Server.Wait blocked forever and Shutdown
+// hung on the worker WaitGroup. The panic value and stack become the
+// job's failure error; the worker stays alive; the caller counts the
+// retirement under the "panic" metric label.
+func (s *Server) solve(j *job) (res *solver.Result, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			res, err = nil, fmt.Errorf("solver panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	res, err = j.solver.Solve(j.ctx, j.inst, j.budget)
+	return res, err, false
+}
+
 // sweepLoop evicts finished jobs past their retention TTL.
 func (s *Server) sweepLoop() {
 	defer s.janitor.Done()
@@ -434,13 +501,15 @@ func (s *Server) sweepLoop() {
 	}
 }
 
-// evictExpired drops every terminal job whose doneAt is older than the
-// retention TTL.
+// evictExpired drops every terminal job finished before the retention
+// cutoff — except jobs still occupying a queue slot (cancelled while
+// queued, not yet drained by a worker), which stay until dequeued so
+// the worker never retires a ghost the map no longer knows.
 func (s *Server) evictExpired(now time.Time) {
 	cutoff := now.Add(-s.cfg.ResultTTL)
 	s.mu.Lock()
 	for id, j := range s.jobs {
-		if done, at := j.doneAt(); done && at.Before(cutoff) {
+		if j.evictable(cutoff) {
 			delete(s.jobs, id)
 			s.stats.noteEvicted()
 		}

@@ -43,6 +43,13 @@ type Stats struct {
 	CacheMisses  int64
 	CacheEntries int
 
+	// StoreServes counts named-instance resolutions served by the
+	// configured pre-generated instance store (Config.InstanceDB),
+	// split out from cache hits/misses; StoreInstances is the store's
+	// current corpus size (0 when no store is configured).
+	StoreServes    int64
+	StoreInstances int
+
 	Solvers []SolverStats
 }
 
@@ -104,33 +111,37 @@ func (b *statsBook) noteEvicted() {
 
 // statsEnv carries the server-level gauges into snapshot.
 type statsEnv struct {
-	uptime       time.Duration
-	workers      int
-	queueCap     int
-	queued       int
-	running      int
-	retained     int
-	cacheHits    int64
-	cacheMisses  int64
-	cacheJoins   int64
-	cacheEntries int
+	uptime         time.Duration
+	workers        int
+	queueCap       int
+	queued         int
+	running        int
+	retained       int
+	cacheHits      int64
+	cacheMisses    int64
+	cacheJoins     int64
+	cacheEntries   int
+	storeServes    int64
+	storeInstances int
 }
 
 func (b *statsBook) snapshot(env statsEnv) Stats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	out := Stats{
-		Uptime:        env.uptime,
-		Workers:       env.workers,
-		QueueCapacity: env.queueCap,
-		Queued:        env.queued,
-		Running:       env.running,
-		Retained:      env.retained,
-		Evicted:       b.evicted,
-		CacheHits:     env.cacheHits,
-		CacheJoins:    env.cacheJoins,
-		CacheMisses:   env.cacheMisses,
-		CacheEntries:  env.cacheEntries,
+		Uptime:         env.uptime,
+		Workers:        env.workers,
+		QueueCapacity:  env.queueCap,
+		Queued:         env.queued,
+		Running:        env.running,
+		Retained:       env.retained,
+		Evicted:        b.evicted,
+		CacheHits:      env.cacheHits,
+		CacheJoins:     env.cacheJoins,
+		CacheMisses:    env.cacheMisses,
+		CacheEntries:   env.cacheEntries,
+		StoreServes:    env.storeServes,
+		StoreInstances: env.storeInstances,
 	}
 	for name, c := range b.perName {
 		s := SolverStats{

@@ -1,0 +1,120 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"gridsched/internal/instdb"
+)
+
+// buildTestStore builds an in-memory instdb store over the given
+// instance names.
+func buildTestStore(t *testing.T, names []string) *instdb.Store {
+	t.Helper()
+	var buf strings.Builder
+	if _, err := instdb.Build(&buf, names); err != nil {
+		t.Fatal(err)
+	}
+	st, err := instdb.Decode([]byte(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestInstanceStoreServes pins the store-first resolution path: names
+// held by the configured InstanceDB are served from it (counted as
+// store serves, not cache traffic), names outside the corpus fall back
+// to the generation cache, and both accountings surface on /v1/stats
+// and /metrics.
+func TestInstanceStoreServes(t *testing.T) {
+	store := buildTestStore(t, []string{"u_c_hihi.0@64x8", "u_i_lolo.0@64x8"})
+	svc, ts := newTestServer(t, Config{Workers: 2, QueueSize: 16, InstanceDB: store})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	run := func(instance string) {
+		t.Helper()
+		j, err := svc.Submit(JobSpec{Solver: "minmin", Instance: instance})
+		if err != nil {
+			t.Fatal(err)
+		}
+		done, err := svc.Wait(ctx, j.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done.State != StateDone || done.Result == nil || done.Result.Makespan <= 0 {
+			t.Fatalf("job on %q: state %s result %+v", instance, done.State, done.Result)
+		}
+	}
+
+	// Three jobs on stored names: all store serves, zero cache traffic.
+	run("u_c_hihi.0@64x8")
+	run("u_c_hihi.0@64x8")
+	run("u_i_lolo.0@64x8")
+	// One job outside the corpus: a cache miss, not a store serve.
+	run("u_s_hilo.0@64x8")
+
+	st := svc.Stats()
+	if st.StoreServes != 3 {
+		t.Errorf("StoreServes = %d, want 3", st.StoreServes)
+	}
+	if st.StoreInstances != 2 {
+		t.Errorf("StoreInstances = %d, want 2", st.StoreInstances)
+	}
+	if st.CacheMisses != 1 || st.CacheHits != 0 {
+		t.Errorf("cache misses/hits = %d/%d, want 1/0 (stored names must bypass the cache)",
+			st.CacheMisses, st.CacheHits)
+	}
+
+	// The split rides the JSON stats payload...
+	var payload struct {
+		Store struct {
+			Serves    int64 `json:"serves"`
+			Instances int   `json:"instances"`
+		} `json:"store"`
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/stats", "", &payload); code != http.StatusOK {
+		t.Fatalf("GET /v1/stats: status %d", code)
+	}
+	if payload.Store.Serves != 3 || payload.Store.Instances != 2 {
+		t.Errorf("/v1/stats store = %+v, want serves 3 instances 2", payload.Store)
+	}
+
+	// ...and the Prometheus exposition.
+	body := scrape(t, ts.URL)
+	for _, want := range []string{
+		"gridsched_store_serves_total 3\n",
+		"gridsched_store_instances 2\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, grepLine(body, "gridsched_store"))
+		}
+	}
+}
+
+// TestInstanceStoreTrusted pins the trust contract: a stored instance
+// is served even when it exceeds MaxMatrixEntries (the corpus is
+// operator-provided), while the same size requested outside the store
+// is still rejected at Submit.
+func TestInstanceStoreTrusted(t *testing.T) {
+	store := buildTestStore(t, []string{"u_c_hihi.0@128x8"})
+	svc, _ := newTestServer(t, Config{Workers: 1, QueueSize: 4, InstanceDB: store, MaxMatrixEntries: 100})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	j, err := svc.Submit(JobSpec{Solver: "minmin", Instance: "u_c_hihi.0@128x8"})
+	if err != nil {
+		t.Fatalf("stored instance past the cap rejected: %v", err)
+	}
+	if done, err := svc.Wait(ctx, j.ID); err != nil || done.State != StateDone {
+		t.Fatalf("stored oversized job: %v / %v", done.State, err)
+	}
+	// The identical size without store backing trips the cap.
+	if _, err := svc.Submit(JobSpec{Solver: "minmin", Instance: "u_c_lohi.0@128x8"}); err == nil {
+		t.Fatal("non-stored oversized instance accepted past MaxMatrixEntries")
+	}
+}
