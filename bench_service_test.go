@@ -9,6 +9,7 @@ package gridsched
 import (
 	"bytes"
 	"context"
+	"runtime"
 	"testing"
 
 	"gridsched/internal/instdb"
@@ -65,6 +66,68 @@ func BenchmarkServiceThroughput(b *testing.B) {
 	for i := 0; i < inflight; i++ {
 		sem <- struct{}{}
 	}
+	b.StopTimer()
+	select {
+	case err := <-errc:
+		b.Fatal(err)
+	default:
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "jobs/s")
+	}
+}
+
+// BenchmarkServiceThroughputParallel is the sharded-core scaling probe:
+// every benchmark goroutine is an independent closed-loop client doing
+// synchronous submit→Wait round trips, so intake, dispatch and
+// retirement contend from as many directions as GOMAXPROCS allows.
+// Compare runs at -cpu 1,2,4,8: with the per-shard stores the jobs/s
+// figure should grow with cores instead of flatlining on a global lock.
+func BenchmarkServiceThroughputParallel(b *testing.B) {
+	var buf bytes.Buffer
+	if _, err := instdb.Build(&buf, []string{"u_i_hihi.0@64x8"}); err != nil {
+		b.Fatal(err)
+	}
+	store, err := instdb.Decode(buf.Bytes())
+	if err != nil {
+		b.Fatal(err)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	svc := NewService(ServiceConfig{Workers: workers, QueueSize: 1024, InstanceDB: store})
+	defer svc.Close()
+
+	spec := JobSpec{Solver: "minmin", Instance: "u_i_hihi.0@64x8"}
+	ctx := context.Background()
+	errc := make(chan error, 1)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			j, err := svc.Submit(spec)
+			if err != nil {
+				select {
+				case errc <- err:
+				default:
+				}
+				return
+			}
+			done, err := svc.Wait(ctx, j.ID)
+			if err == nil && done.State != JobDone {
+				err = context.Canceled
+			}
+			if err != nil {
+				select {
+				case errc <- err:
+				default:
+				}
+				return
+			}
+		}
+	})
 	b.StopTimer()
 	select {
 	case err := <-errc:

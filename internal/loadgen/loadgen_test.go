@@ -124,6 +124,23 @@ func TestClosedLoopAgainstService(t *testing.T) {
 		t.Error("empty text report")
 	}
 
+	// The per-shard breakdown accounts for (at least) every completed
+	// job in the window — shard counters also include warmup jobs that
+	// retired after the window opened, so >= not ==.
+	if len(rep.Shards) == 0 {
+		t.Fatalf("report missing the shard breakdown: %+v", rep)
+	}
+	var shardFinished int64
+	for _, s := range rep.Shards {
+		if s.Finished < 0 || s.Stolen < 0 || s.JobsPerSec < 0 {
+			t.Errorf("negative shard delta: %+v", s)
+		}
+		shardFinished += s.Finished
+	}
+	if shardFinished < rep.Completed {
+		t.Errorf("shards account for %d finished jobs, but %d completed in the window", shardFinished, rep.Completed)
+	}
+
 	// The closed loop really closed: the service saw every submitted job
 	// through to terminal (nothing still queued or running).
 	st := svc.Stats()

@@ -16,20 +16,27 @@ import (
 // not ±Inf/NaN — rates, and the whole snapshot must survive
 // encoding/json, which refuses non-finite floats.
 func TestStatsZeroDurationJobMarshals(t *testing.T) {
-	b := newStatsBook()
+	sh := newShard(0)
 	now := time.Now()
-	b.finished("minmin", Job{
+	sh.retire("minmin", Job{
 		State:       StateDone,
 		StartedAt:   now,
 		FinishedAt:  now, // zero-duration run
 		Result:      &JobResult{Evaluations: 123},
 		SubmittedAt: now,
-	})
+	}, false)
 	// A retired-while-queued job contributes no busy sample at all:
 	// ran stays 0 for its solver.
-	b.finished("maxmin", Job{State: StateCancelled, Result: &JobResult{Evaluations: 7}})
+	sh.retire("maxmin", Job{State: StateCancelled, Result: &JobResult{Evaluations: 7}}, false)
 
-	st := b.snapshot(statsEnv{})
+	var st Stats
+	_, _, per := sh.drainDelta()
+	for name, c := range per {
+		st.Solvers = append(st.Solvers, deriveSolverStats(name, c))
+	}
+	if len(st.Solvers) != 2 {
+		t.Fatalf("drained delta has %d solvers, want 2", len(st.Solvers))
+	}
 	for _, sv := range st.Solvers {
 		if math.IsInf(sv.EvalsPerSecond, 0) || math.IsNaN(sv.EvalsPerSecond) {
 			t.Fatalf("%s: EvalsPerSecond = %v, want finite", sv.Solver, sv.EvalsPerSecond)

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"gridsched/internal/etc"
 )
@@ -13,15 +14,21 @@ import (
 // solving the same twelve benchmark classes over and over should pay
 // that once per class, not once per job. Instances are immutable after
 // generation, so cached pointers are shared across concurrent jobs.
+//
+// The hit/miss/join counters and the entry count are atomics so Stats
+// and the /metrics scrape funcs read them without touching mu — a
+// scrape never queues behind a multi-millisecond generation holding
+// the cache busy.
 type instanceCache struct {
 	mu       sync.Mutex
 	capacity int
 	order    *list.List               // front = most recently used
 	entries  map[string]*list.Element // name -> element holding cacheEntry
 	pending  map[string]*pendingGen   // single-flight: name -> in-progress generation
-	hits     int64
-	misses   int64
-	joins    int64
+	hits     atomic.Int64
+	misses   atomic.Int64
+	joins    atomic.Int64
+	size     atomic.Int64 // mirrors order.Len()
 }
 
 type cacheEntry struct {
@@ -54,7 +61,7 @@ func (c *instanceCache) get(name string) (*etc.Instance, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[name]; ok {
 		c.order.MoveToFront(el)
-		c.hits++
+		c.hits.Add(1)
 		inst := el.Value.(cacheEntry).inst
 		c.mu.Unlock()
 		return inst, nil
@@ -69,17 +76,15 @@ func (c *instanceCache) get(name string) (*etc.Instance, error) {
 			// hit-rate stats during error storms.
 			return nil, p.err
 		}
-		c.mu.Lock()
 		// A successful join is its own outcome, distinct from a hit: the
 		// instance was served, but by riding another request's generation
 		// rather than from a cached entry. Folding joins into hits hid
 		// the single-flight path from the stats (the PR 4 fix made failed
 		// joins count nothing; this keeps successful ones separable).
-		c.joins++
-		c.mu.Unlock()
+		c.joins.Add(1)
 		return p.inst, nil
 	}
-	c.misses++
+	c.misses.Add(1)
 	p := &pendingGen{done: make(chan struct{})}
 	c.pending[name] = p
 	c.mu.Unlock()
@@ -92,10 +97,12 @@ func (c *instanceCache) get(name string) (*etc.Instance, error) {
 	delete(c.pending, name)
 	if p.err == nil {
 		c.entries[name] = c.order.PushFront(cacheEntry{name: name, inst: p.inst})
+		c.size.Add(1)
 		for c.order.Len() > c.capacity {
 			oldest := c.order.Back()
 			c.order.Remove(oldest)
 			delete(c.entries, oldest.Value.(cacheEntry).name)
+			c.size.Add(-1)
 		}
 	}
 	c.mu.Unlock()
@@ -104,11 +111,9 @@ func (c *instanceCache) get(name string) (*etc.Instance, error) {
 }
 
 // counters reports hits, misses, successful single-flight joins and
-// the current entry count.
+// the current entry count. Lock-free: safe from any scrape path.
 func (c *instanceCache) counters() (hits, misses, joins int64, entries int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, c.joins, c.order.Len()
+	return c.hits.Load(), c.misses.Load(), c.joins.Load(), int(c.size.Load())
 }
 
 // resolveInstance materializes the spec's instance: an inline matrix

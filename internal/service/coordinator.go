@@ -1,0 +1,130 @@
+package service
+
+import (
+	"sort"
+	"time"
+)
+
+// epochCoalesce is how long the coordinator waits after a retirement
+// poke before merging, so a burst of finishing jobs costs one merge,
+// not one per job.
+const epochCoalesce = time.Millisecond
+
+// shardCum is one shard's cumulative (all-epochs) retirement counters
+// inside a snapshot.
+type shardCum struct {
+	finished int64
+	stolen   int64
+}
+
+// statSnapshot is one epoch's immutable merged view. The coordinator
+// builds it under mergeMu and publishes it with an atomic pointer
+// store; Stats, /v1/stats and /metrics read the latest snapshot with a
+// single atomic load and no lock of any kind.
+type statSnapshot struct {
+	epoch    uint64
+	mergedAt time.Time
+	solvers  []SolverStats
+	shards   []shardCum
+	finished int64
+	stolen   int64
+}
+
+// emptySnapshot seeds the published pointer so readers never see nil.
+func emptySnapshot(shards int) *statSnapshot {
+	return &statSnapshot{shards: make([]shardCum, shards)}
+}
+
+// coordinate is the epoch coordinator: it merges per-shard deltas into
+// a fresh snapshot when poked by retiring workers (coalesced so bursts
+// amortize) and on a fallback tick, and once more at shutdown so
+// post-drain stats are complete.
+func (s *Server) coordinate() {
+	defer s.bg.Done()
+	tick := time.NewTicker(s.cfg.EpochInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			s.merge()
+			return
+		case <-s.poke:
+			t := time.NewTimer(epochCoalesce)
+			select {
+			case <-t.C:
+			case <-s.baseCtx.Done():
+				t.Stop()
+			}
+			s.merge()
+		case <-tick.C:
+			s.merge()
+		}
+	}
+}
+
+// pokeCoordinator requests an epoch merge soon. Non-blocking: a
+// pending poke already covers this retirement.
+func (s *Server) pokeCoordinator() {
+	select {
+	case s.poke <- struct{}{}:
+	default:
+	}
+}
+
+// merge drains every shard's delta into the cumulative book and
+// publishes a new snapshot. It is the only writer of the cumulative
+// state (serialized by mergeMu) and safe to call from any goroutine —
+// SyncStats uses it to force a fresh epoch, the coordinator calls it
+// on pokes and ticks. A merge that drained nothing republishes the
+// previous snapshot instead of burning an epoch, so epochs advance
+// exactly once per batch of observed work and no epoch number is ever
+// published twice.
+func (s *Server) merge() *statSnapshot {
+	s.mergeMu.Lock()
+	defer s.mergeMu.Unlock()
+	changed := false
+	for i, sh := range s.shards {
+		fin, st, per := sh.drainDelta()
+		if fin != 0 || st != 0 || per != nil {
+			changed = true
+		}
+		s.cumShards[i].finished += fin
+		s.cumShards[i].stolen += st
+		for name, c := range per {
+			cc := s.cumSolvers[name]
+			if cc == nil {
+				cc = &solverCounters{}
+				s.cumSolvers[name] = cc
+			}
+			cc.add(c)
+		}
+	}
+	if prev := s.snap.Load(); !changed && prev.epoch > 0 {
+		return prev
+	}
+	s.epoch++
+	snap := &statSnapshot{
+		epoch:    s.epoch,
+		mergedAt: time.Now(),
+		shards:   append([]shardCum(nil), s.cumShards...),
+	}
+	for name, c := range s.cumSolvers {
+		snap.solvers = append(snap.solvers, deriveSolverStats(name, c))
+	}
+	sort.Slice(snap.solvers, func(i, j int) bool { return snap.solvers[i].Solver < snap.solvers[j].Solver })
+	for _, sc := range snap.shards {
+		snap.finished += sc.finished
+		snap.stolen += sc.stolen
+	}
+	s.snap.Store(snap)
+	return snap
+}
+
+// SyncStats forces an epoch merge and returns the resulting stats, so
+// callers that just observed a job finish (tests, batch harnesses) get
+// exact per-solver counters without waiting out the epoch cadence.
+// Plain Stats stays the lock-free fast path.
+func (s *Server) SyncStats() Stats {
+	s.merge()
+	return s.Stats()
+}

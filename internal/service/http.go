@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"gridsched/internal/obs"
@@ -15,6 +16,8 @@ import (
 //
 //	POST   /v1/jobs             submit a job (202; 429 when the queue is full)
 //	GET    /v1/jobs             list retained jobs, newest first
+//	                            (?state=queued|running|done|failed|cancelled,
+//	                            ?limit=N)
 //	GET    /v1/jobs/{id}        job status and, once finished, its result
 //	GET    /v1/jobs/{id}/trace  lifecycle phases and convergence events
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
@@ -281,8 +284,35 @@ func submitStatus(err error) int {
 	}
 }
 
+// listStates are the states ?state= accepts.
+var listStates = map[JobState]bool{
+	StateQueued:    true,
+	StateRunning:   true,
+	StateDone:      true,
+	StateFailed:    true,
+	StateCancelled: true,
+}
+
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	jobs := s.Jobs()
+	q := r.URL.Query()
+	var state JobState
+	if raw := q.Get("state"); raw != "" {
+		state = JobState(raw)
+		if !listStates[state] {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("unknown state %q", raw))
+			return
+		}
+	}
+	limit := 0
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("limit must be a non-negative integer, got %q", raw))
+			return
+		}
+		limit = n
+	}
+	jobs := s.ListJobs(state, limit)
 	out := make([]jobJSON, len(jobs))
 	for i, j := range jobs {
 		out[i] = jobToJSON(j, false)
@@ -413,6 +443,29 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			EvalsPerSecond: sv.EvalsPerSecond,
 		}
 	}
+	type shardStatsJSON struct {
+		Shard          int   `json:"shard"`
+		Submitted      int64 `json:"submitted"`
+		Finished       int64 `json:"finished"`
+		Stolen         int64 `json:"stolen"`
+		Queued         int   `json:"queued"`
+		Running        int   `json:"running"`
+		Retained       int   `json:"retained"`
+		QueueDepthPeak int   `json:"queue_depth_peak"`
+	}
+	shards := make([]shardStatsJSON, len(st.Shards))
+	for i, sh := range st.Shards {
+		shards[i] = shardStatsJSON{
+			Shard:          sh.Shard,
+			Submitted:      sh.Submitted,
+			Finished:       sh.Finished,
+			Stolen:         sh.Stolen,
+			Queued:         sh.Queued,
+			Running:        sh.Running,
+			Retained:       sh.Retained,
+			QueueDepthPeak: sh.QueueDepthPeak,
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime":         st.Uptime.String(),
 		"workers":        st.Workers,
@@ -421,6 +474,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"running":        st.Running,
 		"retained":       st.Retained,
 		"evicted":        st.Evicted,
+		"epoch":          st.Epoch,
+		"shards":         shards,
 		"cache": map[string]any{
 			"hits":    st.CacheHits,
 			"misses":  st.CacheMisses,
@@ -449,9 +504,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // Draining reports whether Shutdown has started; the health endpoint
 // uses it to fail liveness so load balancers stop routing here.
 func (s *Server) Draining() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.closed
+	return s.closed.Load()
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -114,13 +114,17 @@ type JobResult struct {
 	Assignment     []int
 }
 
-// job is the manager's mutable record behind Job snapshots.
+// job is the manager's mutable record behind Job snapshots. id is
+// assigned under the owning shard's lock at enqueue and immutable
+// afterwards; home is the owning shard, whose live gauges the state
+// transitions below keep current.
 type job struct {
 	id     string
 	spec   JobSpec
 	solver solver.Solver
 	inst   *etc.Instance
 	budget solver.Budget
+	home   *shard
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -153,15 +157,15 @@ type job struct {
 	err       error
 }
 
-func newJob(id string, spec JobSpec, sv solver.Solver, inst *etc.Instance, b solver.Budget, parent context.Context) *job {
+func newJob(spec JobSpec, sv solver.Solver, inst *etc.Instance, b solver.Budget, parent context.Context, home *shard) *job {
 	ctx, cancel := context.WithCancel(parent)
 	trace := obs.NewRecorder(0)
 	j := &job{
-		id:     id,
 		spec:   spec,
 		solver: sv,
 		inst:   inst,
 		budget: b,
+		home:   home,
 		// Every job carries its trace recorder as the solve context's
 		// observer, so any engine the solver builds emits its
 		// convergence events into the job's trace.
@@ -197,6 +201,8 @@ func (j *job) begin() bool {
 	}
 	j.st = StateRunning
 	j.started = time.Now()
+	j.home.queued.Add(-1)
+	j.home.running.Add(1)
 	j.timeline.Mark("solving")
 	return true
 }
@@ -208,6 +214,10 @@ func (j *job) begin() bool {
 // noticed the cancel and returned ctx.Err() was previously misfiled as
 // StateFailed. A genuine solver error still reports StateFailed even
 // when a cancel raced it, so failure detail is never masked.
+//
+// finish does NOT release Wait waiters: the worker folds the retired
+// job into the stats delta and metrics first and then calls
+// signalDone, so a Wait-then-read of any counter observes the job.
 func (j *job) finish(res *solver.Result, err error) {
 	j.mu.Lock()
 	j.finished = time.Now()
@@ -222,10 +232,18 @@ func (j *job) finish(res *solver.Result, err error) {
 	default:
 		j.st = StateDone
 	}
+	j.home.running.Add(-1)
 	j.timeline.Mark(string(j.st))
-	j.closeDoneLocked()
 	j.mu.Unlock()
 	j.cancel() // release the context's resources
+}
+
+// signalDone releases Wait waiters; idempotent (a job cancelled while
+// queued already closed done in requestCancel).
+func (j *job) signalDone() {
+	j.mu.Lock()
+	j.closeDoneLocked()
+	j.mu.Unlock()
 }
 
 // requestCancel marks the job for cancellation. A queued job is
@@ -241,6 +259,7 @@ func (j *job) requestCancel() {
 	if j.st == StateQueued {
 		j.st = StateCancelled
 		j.finished = time.Now()
+		j.home.queued.Add(-1)
 		j.timeline.Mark(string(StateCancelled))
 		j.closeDoneLocked()
 	}
@@ -313,7 +332,14 @@ func (j *job) snapshot() Job {
 	return out
 }
 
-// sortJobs orders snapshots newest first (IDs are monotonic).
+// sortJobs orders snapshots newest first. IDs are monotonic only
+// within a shard, so ordering keys on the submit time, with the ID as
+// a deterministic tie-break.
 func sortJobs(jobs []Job) {
-	sort.Slice(jobs, func(a, b int) bool { return jobs[a].ID > jobs[b].ID })
+	sort.Slice(jobs, func(a, b int) bool {
+		if !jobs[a].SubmittedAt.Equal(jobs[b].SubmittedAt) {
+			return jobs[a].SubmittedAt.After(jobs[b].SubmittedAt)
+		}
+		return jobs[a].ID > jobs[b].ID
+	})
 }

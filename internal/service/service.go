@@ -1,9 +1,20 @@
 // Package service turns the solver library into a long-running
 // scheduling service: clients submit solve jobs (an ETC instance spec
 // or an inline matrix, a registered solver name, and a budget), jobs
-// queue on a bounded channel, and a fixed pool of workers executes
-// them through solver.Lookup with a per-job context, so cancellation
-// and deadlines ride the shared budget engine.
+// land on per-shard bounded queues, and a fixed pool of workers
+// executes them through solver.Lookup with a per-job context, so
+// cancellation and deadlines ride the shared budget engine.
+//
+// The core is sharded for multi-core scale: each shard owns a local
+// job store, a local run queue and local stats counters, and every
+// job's ID carries its shard index, so the Submit→dispatch→finish hot
+// path and all by-ID lookups touch only shard-local state. Idle
+// workers steal queued jobs from loaded neighbors so a skewed submit
+// mix still saturates every shard. A coordinator goroutine advances
+// epochs, merging per-shard retirement deltas into an immutable
+// snapshot; /v1/stats and /metrics are served from the latest epoch
+// snapshot plus live atomic gauges, with zero lock acquisition on the
+// read path.
 //
 // Around that core the package provides a job manager with stable job
 // IDs and a queued → running → done/failed/cancelled lifecycle, result
@@ -20,10 +31,9 @@ package service
 import (
 	"context"
 	"errors"
-	"fmt"
 	"log/slog"
 	"runtime"
-	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,11 +67,22 @@ var (
 // falls back to the default documented on it.
 type Config struct {
 	// Workers is the number of concurrent solve workers (default
-	// GOMAXPROCS). Each worker runs one job at a time.
+	// GOMAXPROCS). Each worker runs one job at a time, pinned to a home
+	// shard (worker i → shard i mod Shards).
 	Workers int
-	// QueueSize bounds the job queue; submits beyond it fail with
-	// ErrQueueFull (default 64).
+	// Shards is the number of service shards — independent job stores,
+	// run queues and stats counters (default min(Workers, GOMAXPROCS),
+	// floored at 1). More shards than workers is allowed; the extra
+	// queues are served by stealing.
+	Shards int
+	// QueueSize bounds the total queued jobs across all shards; submits
+	// beyond it fail with ErrQueueFull (default 64).
 	QueueSize int
+	// EpochInterval is the fallback cadence of the stats coordinator's
+	// epoch merges (default 100ms). Retiring jobs poke the coordinator,
+	// so under load merges happen within ~1ms of work finishing; the
+	// tick only bounds staleness when pokes are lost to a full channel.
+	EpochInterval time.Duration
 	// ResultTTL is how long a finished job (done, failed or cancelled)
 	// stays retrievable before the janitor evicts it (default 15 min).
 	ResultTTL time.Duration
@@ -111,8 +132,17 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.Shards <= 0 {
+		c.Shards = min(c.Workers, runtime.GOMAXPROCS(0))
+		if c.Shards < 1 {
+			c.Shards = 1
+		}
+	}
 	if c.QueueSize <= 0 {
 		c.QueueSize = 64
+	}
+	if c.EpochInterval <= 0 {
+		c.EpochInterval = 100 * time.Millisecond
 	}
 	if c.ResultTTL <= 0 {
 		c.ResultTTL = 15 * time.Minute
@@ -135,14 +165,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is the scheduling service: a job manager, a bounded queue, a
-// worker pool and an instance cache behind one embeddable API. Create
-// it with New, submit with Submit, and stop it with Shutdown. All
-// methods are safe for concurrent use.
+// Server is the scheduling service: sharded job stores and run queues,
+// a pinned worker pool with work stealing, an epoch-merged stats book
+// and an instance cache behind one embeddable API. Create it with New,
+// submit with Submit, and stop it with Shutdown. All methods are safe
+// for concurrent use.
 type Server struct {
 	cfg   Config
 	cache *instanceCache
-	stats *statsBook
 	met   *serverMetrics
 	log   *slog.Logger
 	start time.Time
@@ -150,42 +180,60 @@ type Server struct {
 	baseCtx context.Context // parent of every job context
 	stop    context.CancelFunc
 
-	queue   chan *job
+	shards    []*shard
+	nextShard atomic.Uint64 // round-robin intake cursor
+	queueLen  atomic.Int64  // occupied queue slots across all shards
+	wakeAll   chan struct{} // overflow wakeups: any idle worker may steal
+	drainCh   chan struct{} // closed by BeginDrain; wakes sleeping workers
+	closed    atomic.Bool
+
 	workers sync.WaitGroup
-	janitor sync.WaitGroup
+	bg      sync.WaitGroup // janitor + coordinator
 
-	// storeServes counts named-instance resolutions served by the
-	// configured InstanceDB (vs cache hits/misses/joins).
-	storeServes atomic.Int64
+	evicted     atomic.Int64
+	storeServes atomic.Int64 // named resolutions served by InstanceDB
 
-	mu     sync.Mutex
-	closed bool
-	seq    uint64
-	jobs   map[string]*job
+	// Epoch reconciliation: merge() (serialized by mergeMu) drains every
+	// shard's delta into the cumulative book and publishes an immutable
+	// snapshot; readers load snap with no lock.
+	snap       atomic.Pointer[statSnapshot]
+	poke       chan struct{}
+	mergeMu    sync.Mutex
+	epoch      uint64
+	cumSolvers map[string]*solverCounters
+	cumShards  []shardCum
 }
 
-// New starts a Server: its worker pool and retention janitor run until
-// Shutdown.
+// New starts a Server: its worker pool, stats coordinator and
+// retention janitor run until Shutdown.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		cache:   newInstanceCache(cfg.CacheSize),
-		stats:   newStatsBook(),
-		log:     cfg.Logger,
-		start:   time.Now(),
-		baseCtx: ctx,
-		stop:    cancel,
-		queue:   make(chan *job, cfg.QueueSize),
-		jobs:    make(map[string]*job),
+		cfg:        cfg,
+		cache:      newInstanceCache(cfg.CacheSize),
+		log:        cfg.Logger,
+		start:      time.Now(),
+		baseCtx:    ctx,
+		stop:       cancel,
+		shards:     make([]*shard, cfg.Shards),
+		wakeAll:    make(chan struct{}, cfg.Workers),
+		drainCh:    make(chan struct{}),
+		poke:       make(chan struct{}, 1),
+		cumSolvers: make(map[string]*solverCounters),
+		cumShards:  make([]shardCum, cfg.Shards),
 	}
+	for i := range s.shards {
+		s.shards[i] = newShard(i)
+	}
+	s.snap.Store(emptySnapshot(cfg.Shards))
 	s.met = newServerMetrics(s)
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
-		go s.worker()
+		go s.runWorker(i % cfg.Shards)
 	}
-	s.janitor.Add(1)
+	s.bg.Add(2)
+	go s.coordinate()
 	go s.sweepLoop()
 	return s
 }
@@ -193,10 +241,10 @@ func New(cfg Config) *Server {
 // Config returns the effective (defaulted) configuration.
 func (s *Server) Config() Config { return s.cfg }
 
-// Submit validates the spec, assigns a job ID and enqueues the job.
-// It fails fast: an unknown solver or a bad instance spec is reported
-// here (never as a failed job), and a full queue returns ErrQueueFull
-// so callers can apply backpressure.
+// Submit validates the spec, assigns a job ID and enqueues the job on
+// a shard. It fails fast: an unknown solver or a bad instance spec is
+// reported here (never as a failed job), and a full queue returns
+// ErrQueueFull so callers can apply backpressure.
 func (s *Server) Submit(spec JobSpec) (Job, error) {
 	j, err := s.submit(spec)
 	if err != nil {
@@ -229,31 +277,70 @@ func (s *Server) submit(spec JobSpec) (Job, error) {
 	if spec.Seed != 0 {
 		sv = solver.WithSeed(sv, spec.Seed)
 	}
-
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Load() {
 		return Job{}, ErrClosed
 	}
-	s.seq++
-	j := newJob(fmt.Sprintf("j%08d", s.seq), spec, sv, inst, budget, s.baseCtx)
-	select {
-	case s.queue <- j:
-	default:
-		s.mu.Unlock()
-		j.release()
+	// Reserve a queue slot before touching any shard: the bound is
+	// service-wide, checked with one atomic add, and released on every
+	// reject path below.
+	if s.queueLen.Add(1) > int64(s.cfg.QueueSize) {
+		s.queueLen.Add(-1)
 		return Job{}, ErrQueueFull
 	}
-	s.jobs[j.id] = j
-	s.mu.Unlock()
+	idx := int(s.nextShard.Add(1)-1) % len(s.shards)
+	sh := s.shards[idx]
+	j := newJob(spec, sv, inst, budget, s.baseCtx, sh)
+
+	sh.mu.Lock()
+	// Re-check under the shard lock: BeginDrain sets closed and then
+	// passes through every shard's lock, so a submit that got past this
+	// check has its job enqueued before the drain fence completes — the
+	// set of accepted jobs is closed once BeginDrain returns.
+	if s.closed.Load() {
+		sh.mu.Unlock()
+		s.queueLen.Add(-1)
+		j.release()
+		return Job{}, ErrClosed
+	}
+	sh.seq++
+	j.id = jobID(idx, sh.seq)
+	sh.jobs[j.id] = j
+	sh.submitted.Add(1)
+	sh.retained.Add(1)
+	sh.noteQueued()
+	sh.q = append(sh.q, j)
+	sh.mu.Unlock()
+
+	// Wake the shard's pinned workers, and leave an overflow token so
+	// an idle worker on another shard can come steal if they're busy.
+	select {
+	case sh.wake <- struct{}{}:
+	default:
+	}
+	select {
+	case s.wakeAll <- struct{}{}:
+	default:
+	}
 	return j.snapshot(), nil
+}
+
+// lookupJob routes a job ID to its owning shard (the shard index rides
+// in the ID prefix) and returns the live record.
+func (s *Server) lookupJob(id string) (*job, bool) {
+	idx, ok := parseShardID(id)
+	if !ok || idx >= len(s.shards) {
+		return nil, false
+	}
+	sh := s.shards[idx]
+	sh.mu.Lock()
+	j, ok := sh.jobs[id]
+	sh.mu.Unlock()
+	return j, ok
 }
 
 // Job returns a snapshot of the identified job.
 func (s *Server) Job(id string) (Job, error) {
-	s.mu.Lock()
-	j, ok := s.jobs[id]
-	s.mu.Unlock()
+	j, ok := s.lookupJob(id)
 	if !ok {
 		return Job{}, ErrNotFound
 	}
@@ -269,9 +356,7 @@ func (s *Server) Job(id string) (Job, error) {
 // Wait does not extend retention: a job evicted by the janitor before
 // Wait is called reports ErrNotFound.
 func (s *Server) Wait(ctx context.Context, id string) (Job, error) {
-	s.mu.Lock()
-	j, ok := s.jobs[id]
-	s.mu.Unlock()
+	j, ok := s.lookupJob(id)
 	if !ok {
 		return Job{}, ErrNotFound
 	}
@@ -285,13 +370,40 @@ func (s *Server) Wait(ctx context.Context, id string) (Job, error) {
 
 // Jobs snapshots every retained job, newest first.
 func (s *Server) Jobs() []Job {
-	s.mu.Lock()
-	out := make([]Job, 0, len(s.jobs))
-	for _, j := range s.jobs {
-		out = append(out, j.snapshot())
+	return s.ListJobs("", 0)
+}
+
+// ListJobs snapshots retained jobs newest first, optionally filtered
+// by state ("" matches every state) and truncated to limit (0 means
+// unlimited). Matching runs per shard and snapshots are built only for
+// jobs that survive the filter and the cut, so listing a few jobs out
+// of a large retained set no longer copies everything under a lock.
+func (s *Server) ListJobs(state JobState, limit int) []Job {
+	var matched []*job
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, j := range sh.jobs {
+			if state == "" || j.state() == state {
+				matched = append(matched, j)
+			}
+		}
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
-	sortJobs(out)
+	// submitted and id are immutable after publication, so ordering and
+	// cutting need no locks; only the survivors pay for a snapshot.
+	sort.Slice(matched, func(a, b int) bool {
+		if !matched[a].submitted.Equal(matched[b].submitted) {
+			return matched[a].submitted.After(matched[b].submitted)
+		}
+		return matched[a].id > matched[b].id
+	})
+	if limit > 0 && len(matched) > limit {
+		matched = matched[:limit]
+	}
+	out := make([]Job, len(matched))
+	for i, j := range matched {
+		out[i] = j.snapshot()
+	}
 	return out
 }
 
@@ -301,9 +413,7 @@ func (s *Server) Jobs() []Job {
 // next poll. Cancelling a finished job is a no-op. The returned
 // snapshot reflects the state after the request.
 func (s *Server) Cancel(id string) (Job, error) {
-	s.mu.Lock()
-	j, ok := s.jobs[id]
-	s.mu.Unlock()
+	j, ok := s.lookupJob(id)
 	if !ok {
 		return Job{}, ErrNotFound
 	}
@@ -311,71 +421,76 @@ func (s *Server) Cancel(id string) (Job, error) {
 	return j.snapshot(), nil
 }
 
-// liveCounts derives the queued/running/retained gauges from the job
-// map, the one authoritative source. Both Stats and the /metrics
-// gauges read it, so the two surfaces cannot disagree: a job cancelled
-// while queued turns terminal immediately and stops counting as
-// queued everywhere at once, even though it still occupies a queue
-// channel slot until a worker drains it (len(s.queue), the previous
-// metric source, kept counting it and drifted from /v1/stats).
-func (s *Server) liveCounts() (queued, running, retained int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, j := range s.jobs {
-		switch j.state() {
-		case StateQueued:
-			queued++
-		case StateRunning:
-			running++
-		}
-	}
-	return queued, running, len(s.jobs)
-}
-
-// Stats returns the service-level and per-solver counters.
+// Stats returns the service-level and per-solver counters: live atomic
+// gauges (queued/running/retained, cache, store) plus the latest epoch
+// snapshot's merged retirement counters. It acquires no lock — safe to
+// call at any scrape rate regardless of what the shards are doing.
+// Per-solver counters trail live work by at most one epoch; SyncStats
+// forces a merge first when exactness right after a Wait matters.
 func (s *Server) Stats() Stats {
-	queued, running, retained := s.liveCounts()
-	hits, misses, joins, entries := s.cache.counters()
-	env := statsEnv{
-		uptime:       time.Since(s.start),
-		workers:      s.cfg.Workers,
-		queueCap:     s.cfg.QueueSize,
-		queued:       queued,
-		running:      running,
-		retained:     retained,
-		cacheHits:    hits,
-		cacheMisses:  misses,
-		cacheJoins:   joins,
-		cacheEntries: entries,
-		storeServes:  s.storeServes.Load(),
+	snap := s.snap.Load()
+	st := Stats{
+		Uptime:        time.Since(s.start),
+		Workers:       s.cfg.Workers,
+		QueueCapacity: s.cfg.QueueSize,
+		Epoch:         snap.epoch,
+		Evicted:       s.evicted.Load(),
+		StoreServes:   s.storeServes.Load(),
+		Solvers:       append([]SolverStats(nil), snap.solvers...),
 	}
+	st.CacheHits, st.CacheMisses, st.CacheJoins, st.CacheEntries = s.cache.counters()
 	if db := s.cfg.InstanceDB; db != nil {
-		env.storeInstances = db.Len()
+		st.StoreInstances = db.Len()
 	}
-	return s.stats.snapshot(env)
+	st.Shards = make([]ShardStats, len(s.shards))
+	for i, sh := range s.shards {
+		q, r, ret := sh.queued.Load(), sh.running.Load(), sh.retained.Load()
+		st.Queued += int(q)
+		st.Running += int(r)
+		st.Retained += int(ret)
+		ss := ShardStats{
+			Shard:          i,
+			Submitted:      sh.submitted.Load(),
+			Queued:         int(q),
+			Running:        int(r),
+			Retained:       int(ret),
+			QueueDepthPeak: int(sh.peakDepth.Load()),
+		}
+		if i < len(snap.shards) {
+			ss.Finished = snap.shards[i].finished
+			ss.Stolen = snap.shards[i].stolen
+		}
+		st.Shards[i] = ss
+	}
+	return st
 }
 
 // BeginDrain marks the server draining without waiting: submits are
 // refused with ErrClosed, the health endpoint reports 503, queued and
 // running jobs continue. Call it before stopping an HTTP frontend so
 // in-flight clients observe the draining state; Shutdown calls it
-// implicitly. Idempotent.
+// implicitly. Idempotent. When BeginDrain returns, no further job can
+// be accepted: the pass through every shard lock fences out any submit
+// that raced the closed flag.
 func (s *Server) BeginDrain() {
-	s.mu.Lock()
-	already := s.closed
-	s.closed = true
-	s.mu.Unlock()
-	if !already {
-		close(s.queue) // no sends after closed=true, so this is safe
+	if s.closed.Swap(true) {
+		return
 	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		//lint:ignore SA2001 the empty critical section is the fence
+		sh.mu.Unlock()
+	}
+	close(s.drainCh)
 }
 
 // Shutdown drains the service: submits are refused, queued jobs still
 // execute, and Shutdown returns when every worker has exited — unless
 // ctx expires first, in which case all in-flight jobs are cancelled
 // (through their budget contexts) and the drain completes as fast as
-// the solvers' cancellation polls allow. The janitor is always
-// stopped. Shutdown is idempotent.
+// the solvers' cancellation polls allow. The coordinator and janitor
+// are always stopped, with a final epoch merge so post-shutdown Stats
+// include every retired job. Shutdown is idempotent.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.BeginDrain()
 
@@ -394,7 +509,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 	s.stop()
-	s.janitor.Wait()
+	s.bg.Wait()
+	// The coordinator's exit merge may have raced the last workers on a
+	// forced shutdown; one more merge makes post-shutdown stats final.
+	s.merge()
 	return err
 }
 
@@ -411,84 +529,9 @@ func (s *Server) Close() error {
 	return err
 }
 
-// worker pulls jobs off the queue until the queue is closed and
-// drained. A job cancelled while queued is retired without running —
-// including one whose context a forced shutdown (or a client Cancel
-// racing the dequeue) already cancelled: running it anyway would make
-// drain latency depend on every solver noticing the dead context, and
-// zero-budget heuristics never would. Either way the job reaches a
-// terminal state and releases its Server.Wait waiters.
-func (s *Server) worker() {
-	defer s.workers.Done()
-	for j := range s.queue {
-		j.markDequeued()
-		j.timeline.Mark("dispatched")
-		if j.ctx.Err() != nil {
-			j.requestCancel()
-		}
-		panicked := false
-		if j.begin() {
-			s.met.busy.Add(1)
-			s.log.Info("job started",
-				"job_id", j.id, "solver", j.spec.Solver, "instance", j.inst.Name,
-				"request_id", j.spec.RequestID)
-			var res *solver.Result
-			var err error
-			res, err, panicked = s.solve(j)
-			j.finish(res, err)
-			s.met.busy.Add(-1)
-		}
-		// Fold the retired job (ran or cancelled-while-queued) into the
-		// per-solver counters and metrics.
-		snap := j.snapshot()
-		s.stats.finished(j.spec.Solver, snap)
-		finishLabel := string(snap.State)
-		if panicked {
-			finishLabel = "panic"
-		}
-		s.met.finished.With(finishLabel).Inc()
-		attrs := []any{
-			"job_id", j.id, "solver", j.spec.Solver, "instance", j.inst.Name,
-			"request_id", j.spec.RequestID, "state", string(snap.State),
-		}
-		if !snap.StartedAt.IsZero() && !snap.FinishedAt.IsZero() {
-			latency := snap.FinishedAt.Sub(snap.StartedAt)
-			s.met.latency.With(j.spec.Solver).Observe(latency.Seconds())
-			attrs = append(attrs, "duration", latency)
-		}
-		if snap.Result != nil {
-			s.met.evals.With(j.spec.Solver).Add(snap.Result.Evaluations)
-			attrs = append(attrs, "makespan", snap.Result.Makespan,
-				"evaluations", snap.Result.Evaluations)
-		}
-		if snap.Error != "" {
-			attrs = append(attrs, "error", snap.Error)
-		}
-		s.log.Info("job finished", attrs...)
-	}
-}
-
-// solve runs the job's solver, containing panics. A solver that
-// panics must not kill the worker goroutine: before this guard the
-// pool silently shrank one panic at a time, the panicking job never
-// reached a terminal state, Server.Wait blocked forever and Shutdown
-// hung on the worker WaitGroup. The panic value and stack become the
-// job's failure error; the worker stays alive; the caller counts the
-// retirement under the "panic" metric label.
-func (s *Server) solve(j *job) (res *solver.Result, err error, panicked bool) {
-	defer func() {
-		if r := recover(); r != nil {
-			panicked = true
-			res, err = nil, fmt.Errorf("solver panic: %v\n%s", r, debug.Stack())
-		}
-	}()
-	res, err = j.solver.Solve(j.ctx, j.inst, j.budget)
-	return res, err, false
-}
-
 // sweepLoop evicts finished jobs past their retention TTL.
 func (s *Server) sweepLoop() {
-	defer s.janitor.Done()
+	defer s.bg.Done()
 	tick := time.NewTicker(s.cfg.SweepInterval)
 	defer tick.Stop()
 	for {
@@ -504,15 +547,20 @@ func (s *Server) sweepLoop() {
 // evictExpired drops every terminal job finished before the retention
 // cutoff — except jobs still occupying a queue slot (cancelled while
 // queued, not yet drained by a worker), which stay until dequeued so
-// the worker never retires a ghost the map no longer knows.
+// the worker never retires a ghost the store no longer knows. Each
+// shard is swept under its own lock; the janitor never stalls the
+// whole service.
 func (s *Server) evictExpired(now time.Time) {
 	cutoff := now.Add(-s.cfg.ResultTTL)
-	s.mu.Lock()
-	for id, j := range s.jobs {
-		if j.evictable(cutoff) {
-			delete(s.jobs, id)
-			s.stats.noteEvicted()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for id, j := range sh.jobs {
+			if j.evictable(cutoff) {
+				delete(sh.jobs, id)
+				sh.retained.Add(-1)
+				s.evicted.Add(1)
+			}
 		}
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 }

@@ -145,22 +145,37 @@ func TestEndToEndHTTP(t *testing.T) {
 		}
 	}
 
-	// Stats reflect the finished job.
+	// Stats reflect the finished job. The per-solver counters are
+	// epoch-merged, so they may trail the job's terminal state by a
+	// merge; poll briefly rather than assuming instant visibility.
 	var stats struct {
+		Epoch   uint64 `json:"epoch"`
+		Shards  []any  `json:"shards"`
 		Solvers []struct {
 			Solver string `json:"solver"`
 			Done   int64  `json:"done"`
 		} `json:"solvers"`
 	}
-	doJSON(t, http.MethodGet, ts.URL+"/v1/stats", "", &stats)
 	found := false
-	for _, s := range stats.Solvers {
-		if s.Solver == "minmin" && s.Done == 1 {
-			found = true
+	for deadline := time.Now().Add(5 * time.Second); !found && time.Now().Before(deadline); {
+		doJSON(t, http.MethodGet, ts.URL+"/v1/stats", "", &stats)
+		for _, s := range stats.Solvers {
+			if s.Solver == "minmin" && s.Done == 1 {
+				found = true
+			}
+		}
+		if !found {
+			time.Sleep(5 * time.Millisecond)
 		}
 	}
 	if !found {
 		t.Errorf("stats missing minmin done=1: %+v", stats.Solvers)
+	}
+	if found && stats.Epoch == 0 {
+		t.Errorf("stats carry merged counters but epoch 0")
+	}
+	if len(stats.Shards) == 0 {
+		t.Errorf("stats missing per-shard breakdown")
 	}
 
 	// Health is OK while serving.

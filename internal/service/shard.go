@@ -1,0 +1,207 @@
+package service
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// shard is one slice of the service core: a local job store, a local
+// FIFO run queue and local stats, owned by the workers pinned to it.
+// Jobs are placed on a shard at Submit (round-robin) and carry the
+// shard index in their ID, so every later operation — dispatch, state
+// transition, Cancel, Job, Wait, Trace, eviction — touches only this
+// shard's state. Cross-shard traffic exists in exactly two places:
+// idle workers stealing queued jobs from loaded neighbors, and the
+// stats coordinator draining each shard's delta once per epoch.
+type shard struct {
+	idx int
+
+	// mu guards the job store and the run queue. It is shard-local:
+	// submits, dispatches and lookups on different shards never contend.
+	mu   sync.Mutex
+	seq  uint64
+	jobs map[string]*job
+	q    []*job // FIFO; q[head:] are waiting jobs
+	head int
+
+	// wake holds one pending wakeup for this shard's pinned workers. A
+	// failed try-send means a wakeup is already pending, in which case
+	// the submit spills its wakeup to the server-wide channel so an
+	// idle worker on another shard can come steal.
+	wake chan struct{}
+
+	// Live gauges, updated on job state transitions and read lock-free
+	// by Stats and the /metrics gauge funcs. They are tied to the job
+	// state machine (a job cancelled while queued leaves `queued` even
+	// though it still occupies a queue slot), so the gauges can never
+	// drift from the states the job API reports.
+	queued    atomic.Int64
+	running   atomic.Int64
+	retained  atomic.Int64
+	peakDepth atomic.Int64
+	submitted atomic.Int64
+
+	// delta accumulates retirement counters between epoch merges; the
+	// coordinator drains and resets it each epoch. Workers pinned to
+	// this shard fold every job they retire (their own or stolen) here,
+	// so the hot path takes only this shard-local lock, never a global
+	// stats lock.
+	delta shardDelta
+}
+
+// shardDelta is the since-last-epoch retirement ledger of one shard.
+type shardDelta struct {
+	mu        sync.Mutex
+	finished  int64 // jobs retired by this shard's workers
+	stolen    int64 // of those, jobs taken from another shard's queue
+	perSolver map[string]*solverCounters
+}
+
+func newShard(idx int) *shard {
+	return &shard{
+		idx:  idx,
+		jobs: make(map[string]*job),
+		wake: make(chan struct{}, 1),
+		delta: shardDelta{
+			perSolver: make(map[string]*solverCounters),
+		},
+	}
+}
+
+// pop removes and returns the oldest queued job, or nil when the queue
+// is empty. Callers own the global queue-length decrement.
+func (sh *shard) pop() *job {
+	sh.mu.Lock()
+	if sh.head >= len(sh.q) {
+		sh.mu.Unlock()
+		return nil
+	}
+	j := sh.q[sh.head]
+	sh.q[sh.head] = nil
+	sh.head++
+	if sh.head == len(sh.q) {
+		sh.q = sh.q[:0]
+		sh.head = 0
+	}
+	sh.mu.Unlock()
+	return j
+}
+
+// noteQueued bumps the queued gauge and folds the new depth into the
+// peak watermark.
+func (sh *shard) noteQueued() {
+	d := sh.queued.Add(1)
+	for {
+		p := sh.peakDepth.Load()
+		if d <= p || sh.peakDepth.CompareAndSwap(p, d) {
+			return
+		}
+	}
+}
+
+// retire folds one retired job into the shard's epoch delta. stolen
+// marks a job this shard's worker took from another shard's queue.
+func (sh *shard) retire(solverName string, snap Job, stolen bool) {
+	d := &sh.delta
+	d.mu.Lock()
+	d.finished++
+	if stolen {
+		d.stolen++
+	}
+	c := d.perSolver[solverName]
+	if c == nil {
+		c = &solverCounters{}
+		d.perSolver[solverName] = c
+	}
+	c.fold(snap)
+	d.mu.Unlock()
+}
+
+// drainDelta moves the delta out for an epoch merge, resetting it.
+func (sh *shard) drainDelta() (finished, stolen int64, perSolver map[string]*solverCounters) {
+	d := &sh.delta
+	d.mu.Lock()
+	finished, stolen = d.finished, d.stolen
+	d.finished, d.stolen = 0, 0
+	if len(d.perSolver) > 0 {
+		perSolver = d.perSolver
+		d.perSolver = make(map[string]*solverCounters)
+	}
+	d.mu.Unlock()
+	return finished, stolen, perSolver
+}
+
+// jobID renders a shard-qualified job ID. The shard index rides in the
+// prefix so every by-ID operation routes straight to the owning shard.
+func jobID(shard int, seq uint64) string {
+	return fmt.Sprintf("j%d-%08d", shard, seq)
+}
+
+// parseShardID extracts the shard index from a job ID ("j3-00000042").
+// Malformed IDs report ok=false; callers answer ErrNotFound, which is
+// also what a well-formed ID for an evicted job gets.
+func parseShardID(id string) (shard int, ok bool) {
+	if len(id) < 2 || id[0] != 'j' {
+		return 0, false
+	}
+	dash := strings.IndexByte(id, '-')
+	if dash < 2 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(id[1:dash])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// solverCounters aggregates the retired jobs of one solver name —
+// accumulated per shard between epochs, merged into the cumulative
+// book by the coordinator.
+type solverCounters struct {
+	done, failed, cancelled int64
+	evaluations             int64
+	busy                    time.Duration
+	maxLatency              time.Duration
+	ran                     int64
+}
+
+// fold adds one retired job's snapshot to the counters.
+func (c *solverCounters) fold(j Job) {
+	switch j.State {
+	case StateDone:
+		c.done++
+	case StateFailed:
+		c.failed++
+	case StateCancelled:
+		c.cancelled++
+	}
+	if !j.StartedAt.IsZero() && !j.FinishedAt.IsZero() {
+		latency := j.FinishedAt.Sub(j.StartedAt)
+		c.busy += latency
+		c.ran++
+		if latency > c.maxLatency {
+			c.maxLatency = latency
+		}
+	}
+	if j.Result != nil {
+		c.evaluations += j.Result.Evaluations
+	}
+}
+
+// add merges another counter set into this one.
+func (c *solverCounters) add(o *solverCounters) {
+	c.done += o.done
+	c.failed += o.failed
+	c.cancelled += o.cancelled
+	c.evaluations += o.evaluations
+	c.busy += o.busy
+	c.ran += o.ran
+	if o.maxLatency > c.maxLatency {
+		c.maxLatency = o.maxLatency
+	}
+}

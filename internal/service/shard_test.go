@@ -1,0 +1,397 @@
+package service
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestJobIDRouting pins the shard-qualified ID format and its parser:
+// round-trips for every shard index, and rejection (not a crash, not a
+// wrong shard) for everything malformed a client could send.
+func TestJobIDRouting(t *testing.T) {
+	for _, shard := range []int{0, 1, 7, 15, 123} {
+		id := jobID(shard, 42)
+		got, ok := parseShardID(id)
+		if !ok || got != shard {
+			t.Errorf("parseShardID(%q) = %d, %v; want %d, true", id, got, ok, shard)
+		}
+	}
+	for _, bad := range []string{"", "j", "j-", "j00000001", "j99999999", "x0-00000001", "j-1-00000001", "jx-00000001", "nope"} {
+		if got, ok := parseShardID(bad); ok {
+			t.Errorf("parseShardID(%q) = %d, true; want rejection", bad, got)
+		}
+	}
+}
+
+// TestEpochMergeProperty is the coordinator's correctness property
+// under churn: while jobs retire across shards, concurrently observed
+// snapshots must (a) never repeat or regress an epoch, (b) carry
+// monotonically non-decreasing counters, and (c) at quiescence merge
+// to exactly the sum of what the shards retired — per-shard finished
+// totals equal to the per-solver done/failed/cancelled totals, equal
+// to the number of jobs submitted.
+func TestEpochMergeProperty(t *testing.T) {
+	svc := New(Config{Workers: 4, Shards: 4, QueueSize: 256, EpochInterval: 5 * time.Millisecond})
+	defer svc.Close()
+
+	const jobs = 120
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Observer: sample Stats as fast as possible during the churn.
+	var (
+		obsWG     sync.WaitGroup
+		stopObs   = make(chan struct{})
+		lastEpoch uint64
+		lastTotal int64
+	)
+	obsWG.Add(1)
+	go func() {
+		defer obsWG.Done()
+		seen := map[uint64]int64{} // epoch -> total finished at that epoch
+		for {
+			select {
+			case <-stopObs:
+				return
+			default:
+			}
+			st := svc.Stats()
+			var total int64
+			for _, sh := range st.Shards {
+				total += sh.Finished
+			}
+			if st.Epoch < lastEpoch {
+				t.Errorf("epoch regressed: %d after %d", st.Epoch, lastEpoch)
+				return
+			}
+			if total < lastTotal {
+				t.Errorf("merged finished total regressed: %d after %d", total, lastTotal)
+				return
+			}
+			if prev, ok := seen[st.Epoch]; ok && prev != total {
+				t.Errorf("epoch %d observed twice with different totals: %d then %d", st.Epoch, prev, total)
+				return
+			}
+			seen[st.Epoch] = total
+			lastEpoch, lastTotal = st.Epoch, total
+		}
+	}()
+
+	ids := make([]string, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		j, err := svc.Submit(JobSpec{Solver: "minmin", Instance: "u_c_hihi.0@64x8"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+		if i%5 == 0 { // a few cancellations keep all three terminal states in play
+			_, _ = svc.Cancel(j.ID)
+		}
+	}
+	for _, id := range ids {
+		if _, err := svc.Wait(ctx, id); err != nil {
+			t.Fatalf("Wait(%s): %v", id, err)
+		}
+	}
+	close(stopObs)
+	obsWG.Wait()
+
+	// Quiescent merge: everything retired must be accounted for, and
+	// the three views of "how many jobs" must agree exactly.
+	st := svc.SyncStats()
+	var perShard, perSolver, submitted int64
+	for _, sh := range st.Shards {
+		perShard += sh.Finished
+		submitted += sh.Submitted
+		if sh.Stolen > sh.Finished {
+			t.Errorf("shard %d: stolen %d > finished %d", sh.Shard, sh.Stolen, sh.Finished)
+		}
+	}
+	for _, sv := range st.Solvers {
+		perSolver += sv.Done + sv.Failed + sv.Cancelled
+	}
+	if perShard != jobs || perSolver != jobs || submitted != jobs {
+		t.Errorf("merged totals disagree: per-shard %d, per-solver %d, submitted %d, want %d each",
+			perShard, perSolver, submitted, jobs)
+	}
+	if st.Epoch == 0 {
+		t.Error("work retired but epoch never advanced")
+	}
+}
+
+// TestWorkStealingDrainsOtherShards pins the steal path directly: one
+// worker pinned to shard 0 must execute jobs that round-robin intake
+// placed on shards it does not own.
+func TestWorkStealingDrainsOtherShards(t *testing.T) {
+	svc := New(Config{Workers: 1, Shards: 4, QueueSize: 64})
+	defer svc.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	const jobs = 12 // 3 per shard; 9 of them live on shards 1-3
+	ids := make([]string, jobs)
+	for i := range ids {
+		j, err := svc.Submit(JobSpec{Solver: "minmin", Instance: "u_c_hihi.0@64x8"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = j.ID
+	}
+	for _, id := range ids {
+		j, err := svc.Wait(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State != StateDone {
+			t.Fatalf("job %s: state %s (error %q)", id, j.State, j.Error)
+		}
+	}
+	st := svc.SyncStats()
+	if st.Shards[0].Finished != jobs {
+		t.Errorf("the lone worker's shard retired %d jobs, want all %d", st.Shards[0].Finished, jobs)
+	}
+	if want := int64(jobs - jobs/4); st.Shards[0].Stolen != want {
+		t.Errorf("stolen = %d, want %d (every job not on the worker's own shard)", st.Shards[0].Stolen, want)
+	}
+}
+
+// TestWorkStealingSaturatesUnderSkew is the skewed-mix scenario: a
+// long-running job pins one worker, and the quick jobs that intake
+// keeps placing on that worker's shard must be stolen and completed by
+// the other shards' workers while the blocker still runs.
+func TestWorkStealingSaturatesUnderSkew(t *testing.T) {
+	svc := New(Config{Workers: 4, Shards: 4, QueueSize: 256})
+	defer svc.Close()
+
+	blocker, err := svc.Submit(JobSpec{Solver: "test-block", Instance: "u_c_hihi.0@64x8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	const jobs = 64 // round-robin lands 16 on the blocked worker's shard
+	ids := make([]string, jobs)
+	for i := range ids {
+		j, err := svc.Submit(JobSpec{Solver: "minmin", Instance: "u_c_hihi.0@64x8"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = j.ID
+	}
+	for _, id := range ids {
+		j, err := svc.Wait(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State != StateDone {
+			t.Fatalf("quick job %s: state %s (error %q)", id, j.State, j.Error)
+		}
+	}
+	// The blocker is still running: the quick mix completed around it.
+	if j, err := svc.Job(blocker.ID); err != nil || j.State != StateRunning {
+		t.Fatalf("blocker state = %v (err %v), want still running", j.State, err)
+	}
+	st := svc.SyncStats()
+	var stolen int64
+	for _, sh := range st.Shards {
+		stolen += sh.Stolen
+	}
+	if stolen == 0 {
+		t.Errorf("skewed mix completed with zero steals; per-shard: %+v", st.Shards)
+	}
+	if _, err := svc.Cancel(blocker.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStatsReadLockFree pins the acceptance criterion that /v1/stats
+// and /metrics are served from epoch snapshots and live atomics with
+// no per-shard lock acquisition: with EVERY shard lock, every shard
+// delta lock and the instance-cache lock held hostage, Stats() and a
+// full metrics scrape must still return.
+func TestStatsReadLockFree(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 2, Shards: 2, QueueSize: 8})
+
+	// Retire some work first so the snapshot is non-trivial.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	j, err := svc.Submit(JobSpec{Solver: "minmin", Instance: "u_c_hihi.0@64x8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Wait(ctx, j.ID); err != nil {
+		t.Fatal(err)
+	}
+	svc.SyncStats()
+
+	for _, sh := range svc.shards {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		sh.delta.mu.Lock()
+		defer sh.delta.mu.Unlock()
+	}
+	svc.cache.mu.Lock()
+	defer svc.cache.mu.Unlock()
+
+	type result struct {
+		stats Stats
+		body  string
+	}
+	got := make(chan result, 1)
+	go func() {
+		st := svc.Stats()
+		got <- result{stats: st, body: scrape(t, ts.URL)}
+	}()
+	select {
+	case r := <-got:
+		if r.stats.Epoch == 0 {
+			t.Errorf("snapshot epoch 0 after a merged retirement")
+		}
+		if len(r.body) == 0 {
+			t.Errorf("empty metrics exposition")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stats()/scrape blocked while shard locks were held — the read path takes a lock")
+	}
+}
+
+// TestListJobsFilters covers the ?state=/?limit= listing path at both
+// the Go and HTTP layers, against a mixed queued/running/terminal set.
+func TestListJobsFilters(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 1, Shards: 2, QueueSize: 16})
+
+	blocker, err := svc.Submit(JobSpec{Solver: "test-block", Instance: "u_c_hihi.0@64x8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pollState(t, ts.URL, blocker.ID, 5*time.Second, func(j jobJSON) bool { return j.State == StateRunning })
+	var queued []string
+	for i := 0; i < 4; i++ {
+		j, err := svc.Submit(JobSpec{Solver: "minmin", Instance: "u_c_hihi.0@64x8"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, j.ID)
+	}
+
+	if got := svc.ListJobs(StateQueued, 0); len(got) != 4 {
+		t.Errorf("ListJobs(queued) = %d jobs, want 4", len(got))
+	}
+	if got := svc.ListJobs(StateRunning, 0); len(got) != 1 || got[0].ID != blocker.ID {
+		t.Errorf("ListJobs(running) = %+v, want just the blocker", got)
+	}
+	if got := svc.ListJobs("", 2); len(got) != 2 {
+		t.Errorf("ListJobs(limit=2) = %d jobs, want 2", len(got))
+	}
+	// Newest first: the limited listing returns the latest submissions.
+	if got := svc.ListJobs(StateQueued, 1); len(got) != 1 || got[0].ID != queued[3] {
+		t.Errorf("ListJobs(queued, 1) = %+v, want newest queued job %s", got, queued[3])
+	}
+
+	var list struct {
+		Jobs []jobJSON `json:"jobs"`
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs?state=queued", "", &list); code != http.StatusOK {
+		t.Fatalf("GET ?state=queued: status %d", code)
+	}
+	if len(list.Jobs) != 4 {
+		t.Errorf("HTTP ?state=queued returned %d jobs, want 4", len(list.Jobs))
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs?state=queued&limit=2", "", &list); code != http.StatusOK || len(list.Jobs) != 2 {
+		t.Errorf("HTTP ?state=queued&limit=2: status %d, %d jobs, want 200/2", code, len(list.Jobs))
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs?state=bogus", "", nil); code != http.StatusBadRequest {
+		t.Errorf("HTTP ?state=bogus: status %d, want 400", code)
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs?limit=-3", "", nil); code != http.StatusBadRequest {
+		t.Errorf("HTTP ?limit=-3: status %d, want 400", code)
+	}
+
+	if _, err := svc.Cancel(blocker.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardStormRace is the -race soak of the sharded core: submits,
+// cancels, stats reads, listings and scrapes hammer every shard at
+// once, then Shutdown races the storm. Every accepted job must end
+// terminal.
+func TestShardStormRace(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 4, Shards: 4, QueueSize: 64, EpochInterval: 2 * time.Millisecond})
+
+	var (
+		mu       sync.Mutex
+		accepted []string
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+	)
+	spec := JobSpec{Solver: "minmin", Instance: "u_c_hihi.0@64x8"}
+	if _, err := svc.Submit(spec); err != nil { // warm the cache
+		t.Fatal(err)
+	}
+
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				j, err := svc.Submit(spec)
+				switch err {
+				case nil:
+					mu.Lock()
+					accepted = append(accepted, j.ID)
+					n := len(accepted)
+					victim := accepted[rnd.Intn(n)]
+					mu.Unlock()
+					if rnd.Intn(4) == 0 {
+						_, _ = svc.Cancel(victim)
+					}
+				case ErrClosed:
+					return
+				case ErrQueueFull:
+					time.Sleep(time.Millisecond)
+				default:
+					t.Errorf("Submit: %v", err)
+					return
+				}
+			}
+		}(int64(g + 1))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			_ = svc.Stats()
+			_ = svc.ListJobs(StateQueued, 8)
+			_ = scrape(t, ts.URL)
+		}
+	}()
+
+	time.Sleep(150 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	for _, id := range accepted {
+		j, err := svc.Wait(ctx, id)
+		if err != nil {
+			t.Fatalf("Wait(%s): %v", id, err)
+		}
+		if !j.State.Terminal() {
+			t.Fatalf("job %s stranded in %s after Shutdown", id, j.State)
+		}
+	}
+}

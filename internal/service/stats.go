@@ -2,8 +2,6 @@ package service
 
 import (
 	"math"
-	"sort"
-	"sync"
 	"time"
 )
 
@@ -25,7 +23,27 @@ type SolverStats struct {
 	EvalsPerSecond float64
 }
 
-// Stats is a point-in-time snapshot of the service.
+// ShardStats is one shard's slice of the service: live occupancy
+// gauges plus the epoch snapshot's cumulative retirement counters.
+// Submitted counts jobs placed on this shard at intake; Finished
+// counts jobs retired by this shard's workers (a stolen job counts on
+// the thief, which is what makes imbalance visible); Stolen is the
+// subset of Finished taken from another shard's queue.
+type ShardStats struct {
+	Shard          int
+	Submitted      int64
+	Finished       int64
+	Stolen         int64
+	Queued         int
+	Running        int
+	Retained       int
+	QueueDepthPeak int
+}
+
+// Stats is a point-in-time snapshot of the service: live atomic gauges
+// plus the latest epoch-merged counters (Epoch identifies the merge
+// they came from; per-solver counters trail live work by at most one
+// epoch).
 type Stats struct {
 	Uptime        time.Duration
 	Workers       int
@@ -34,6 +52,10 @@ type Stats struct {
 	Running       int
 	Retained      int
 	Evicted       int64
+
+	// Epoch is the stats coordinator's merge counter — the epoch the
+	// Solvers and per-shard Finished/Stolen counters were merged at.
+	Epoch uint64
 
 	CacheHits int64
 	// CacheJoins counts requests served by riding another request's
@@ -51,114 +73,24 @@ type Stats struct {
 	StoreInstances int
 
 	Solvers []SolverStats
+	Shards  []ShardStats
 }
 
-// statsBook accumulates per-solver counters; workers report into it as
-// jobs retire.
-type statsBook struct {
-	mu      sync.Mutex
-	evicted int64
-	perName map[string]*solverCounters
-}
-
-type solverCounters struct {
-	done, failed, cancelled int64
-	evaluations             int64
-	busy                    time.Duration
-	maxLatency              time.Duration
-	ran                     int64
-}
-
-func newStatsBook() *statsBook {
-	return &statsBook{perName: make(map[string]*solverCounters)}
-}
-
-// finished folds a retired job's snapshot into its solver's counters.
-func (b *statsBook) finished(solverName string, j Job) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	c := b.perName[solverName]
-	if c == nil {
-		c = &solverCounters{}
-		b.perName[solverName] = c
+// deriveSolverStats turns one solver's raw counters into the public
+// stats shape, computing the derived latency and throughput figures.
+func deriveSolverStats(name string, c *solverCounters) SolverStats {
+	s := SolverStats{
+		Solver:      name,
+		Done:        c.done,
+		Failed:      c.failed,
+		Cancelled:   c.cancelled,
+		Evaluations: c.evaluations,
+		BusyTime:    c.busy,
+		MaxLatency:  c.maxLatency,
 	}
-	switch j.State {
-	case StateDone:
-		c.done++
-	case StateFailed:
-		c.failed++
-	case StateCancelled:
-		c.cancelled++
-	}
-	if !j.StartedAt.IsZero() && !j.FinishedAt.IsZero() {
-		latency := j.FinishedAt.Sub(j.StartedAt)
-		c.busy += latency
-		c.ran++
-		if latency > c.maxLatency {
-			c.maxLatency = latency
-		}
-	}
-	if j.Result != nil {
-		c.evaluations += j.Result.Evaluations
-	}
-}
-
-func (b *statsBook) noteEvicted() {
-	b.mu.Lock()
-	b.evicted++
-	b.mu.Unlock()
-}
-
-// statsEnv carries the server-level gauges into snapshot.
-type statsEnv struct {
-	uptime         time.Duration
-	workers        int
-	queueCap       int
-	queued         int
-	running        int
-	retained       int
-	cacheHits      int64
-	cacheMisses    int64
-	cacheJoins     int64
-	cacheEntries   int
-	storeServes    int64
-	storeInstances int
-}
-
-func (b *statsBook) snapshot(env statsEnv) Stats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	out := Stats{
-		Uptime:         env.uptime,
-		Workers:        env.workers,
-		QueueCapacity:  env.queueCap,
-		Queued:         env.queued,
-		Running:        env.running,
-		Retained:       env.retained,
-		Evicted:        b.evicted,
-		CacheHits:      env.cacheHits,
-		CacheJoins:     env.cacheJoins,
-		CacheMisses:    env.cacheMisses,
-		CacheEntries:   env.cacheEntries,
-		StoreServes:    env.storeServes,
-		StoreInstances: env.storeInstances,
-	}
-	for name, c := range b.perName {
-		s := SolverStats{
-			Solver:      name,
-			Done:        c.done,
-			Failed:      c.failed,
-			Cancelled:   c.cancelled,
-			Evaluations: c.evaluations,
-			BusyTime:    c.busy,
-			MaxLatency:  c.maxLatency,
-		}
-		s.MeanLatency = meanLatency(c.busy, c.ran)
-		s.EvalsPerSecond = safeRate(float64(c.evaluations), c.busy.Seconds())
-		out.Solvers = append(out.Solvers, s)
-	}
-	sort.Slice(out.Solvers, func(i, j int) bool { return out.Solvers[i].Solver < out.Solvers[j].Solver })
-	return out
+	s.MeanLatency = meanLatency(c.busy, c.ran)
+	s.EvalsPerSecond = safeRate(float64(c.evaluations), c.busy.Seconds())
+	return s
 }
 
 // meanLatency divides defensively: a burst of heuristic jobs can

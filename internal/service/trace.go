@@ -29,9 +29,7 @@ type JobTrace struct {
 // Trace returns the identified job's lifecycle trace. It works on live
 // jobs (the current phase is measured to now) and terminal ones alike.
 func (s *Server) Trace(id string) (JobTrace, error) {
-	s.mu.Lock()
-	j, ok := s.jobs[id]
-	s.mu.Unlock()
+	j, ok := s.lookupJob(id)
 	if !ok {
 		return JobTrace{}, ErrNotFound
 	}
