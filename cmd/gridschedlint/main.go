@@ -1,0 +1,57 @@
+// Command gridschedlint runs the project's static-analysis suite (see
+// internal/lint) over the given package patterns and exits non-zero on
+// any unsuppressed diagnostic:
+//
+//	go run ./cmd/gridschedlint ./...
+//
+// A diagnostic is suppressed by a justified escape hatch on or
+// directly above the flagged line:
+//
+//	//lint:ignore <analyzer> <reason the invariant does not apply here>
+//
+// An empty reason is itself a diagnostic. Directives naming analyzers
+// outside this suite (e.g. staticcheck codes) are left alone.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gridsched/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: gridschedlint [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	n, err := run(".", flag.Args(), os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridschedlint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		os.Exit(1)
+	}
+}
+
+// run executes the suite and prints findings; it returns how many
+// diagnostics survived suppression.
+func run(dir string, patterns []string, out io.Writer) (int, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lint.Check(dir, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range findings {
+		fmt.Fprintln(out, f)
+	}
+	return len(findings), nil
+}

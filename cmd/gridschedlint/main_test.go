@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSuiteCleanOnTree is the smoke the CI lint job relies on: the
+// shipped suite reports nothing on the whole module. Skipped under
+// -short because type-checking the full dependency closure takes a
+// few seconds.
+func TestSuiteCleanOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module lint smoke skipped in -short mode")
+	}
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" {
+		t.Fatal("not inside a module")
+	}
+	var buf bytes.Buffer
+	n, err := run(filepath.Dir(gomod), []string{"./..."}, &buf)
+	if err != nil {
+		t.Fatalf("lint run failed: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("gridschedlint reported %d findings on the tree:\n%s", n, buf.String())
+	}
+}

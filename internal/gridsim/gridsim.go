@@ -259,9 +259,11 @@ func Simulate(inst *etc.Instance, s *schedule.Schedule, cfg Config) (*Result, er
 		}
 	}
 
-	// duration returns the actual execution time of task t on machine m.
+	// duration returns the actual execution time of task t on machine m,
+	// read from the machine-major plane (contiguous in t for a fixed m,
+	// the same access pattern as the backlog scans).
 	duration := func(t, m int) float64 {
-		d := inst.ETC(t, m)
+		d := inst.MachineCosts(m)[t]
 		if cfg.NoiseSigma > 0 {
 			d *= math.Exp(cfg.NoiseSigma * normal(r))
 		}

@@ -1,0 +1,154 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API surface that gridschedlint's
+// passes are written against. The container this repo builds in has no
+// module proxy access, so instead of importing x/tools the lint layer
+// carries the ~150 lines of framework it actually needs: an Analyzer
+// runs over one type-checked package and reports position-tagged
+// diagnostics, and the shared driver applies the //lint:ignore
+// suppression contract before anything reaches CI. If the real
+// x/tools dependency ever becomes available, the passes port over by
+// swapping this import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer is one lint pass: a name (used in diagnostics and in
+// //lint:ignore directives), a doc string describing the invariant it
+// enforces, and a Run function over a single package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass is one analyzer's view of one package: the syntax trees with
+// comments, the type information, and a Report sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Finding is a diagnostic after suppression: resolved to a file
+// position and tagged with the analyzer that produced it.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
+}
+
+// RunPackage runs every analyzer over one type-checked package and
+// returns the surviving findings, sorted by position. Suppression
+// follows the project contract: a comment of the form
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the flagged line, or on the line directly above it, silences that
+// analyzer's diagnostics there — but only with a non-empty reason. A
+// directive naming one of the analyzers being run with no reason is
+// itself a finding; directives naming unknown analyzers (e.g. the
+// staticcheck-style SA#### codes) are tolerated untouched.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	dirs := directives(fset, files)
+
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			findings = append(findings, Finding{
+				Analyzer: name,
+				Position: fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+
+	kept := findings[:0]
+	for _, f := range findings {
+		if !suppressed(dirs, f) {
+			kept = append(kept, f)
+		}
+	}
+	findings = kept
+
+	// A directive for a known analyzer without a justification is a
+	// violation of the escape-hatch contract, attributed to that
+	// analyzer so it reads (and suppresses… not) like its diagnostics.
+	for _, d := range dirs {
+		if known[d.analyzer] && d.reason == "" {
+			findings = append(findings, Finding{
+				Analyzer: d.analyzer,
+				Position: d.pos,
+				Message:  fmt.Sprintf("lint:ignore %s directive needs a non-empty justification", d.analyzer),
+			})
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}
+
+func suppressed(dirs []directive, f Finding) bool {
+	for _, d := range dirs {
+		if d.analyzer != f.Analyzer || d.reason == "" {
+			continue
+		}
+		if d.pos.Filename != f.Position.Filename {
+			continue
+		}
+		if d.pos.Line == f.Position.Line || d.pos.Line == f.Position.Line-1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A directive is one parsed //lint:ignore comment.
+type directive struct {
+	pos      token.Position // position of the comment itself
+	analyzer string
+	reason   string
+}
+
+// directives extracts every lint:ignore directive from the package's
+// comments. Both line comments (//lint:ignore …) and block comments
+// (/*lint:ignore …*/) are honored; block form exists so a fixture can
+// place a directive and a // want comment on the same line.
+func directives(fset *token.FileSet, files []*ast.File) []directive {
+	var out []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				switch {
+				case strings.HasPrefix(text, "//"):
+					text = text[2:]
+				case strings.HasPrefix(text, "/*"):
+					text = strings.TrimSuffix(text[2:], "*/")
+				}
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:ignore"))
+				if rest == "" {
+					continue // bare "lint:ignore": names no analyzer, not ours to police
+				}
+				name := rest
+				reason := ""
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					name, reason = rest[:i], strings.TrimSpace(rest[i+1:])
+				}
+				out = append(out, directive{
+					pos:      fset.Position(c.Pos()),
+					analyzer: name,
+					reason:   reason,
+				})
+			}
+		}
+	}
+	return out
+}

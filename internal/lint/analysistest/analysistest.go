@@ -1,0 +1,194 @@
+// Package analysistest runs a lint analyzer over GOPATH-style fixture
+// trees and checks its diagnostics against // want comments, mirroring
+// the golang.org/x/tools/go/analysis/analysistest contract the repo
+// cannot import offline. Fixtures live under
+//
+//	<analyzer>/testdata/src/<import/path>/*.go
+//
+// so a fixture can reproduce exact module import paths (the analyzers
+// gate on them). Imports inside a fixture resolve testdata-first: a
+// path with sources under testdata/src is loaded from there (stubs for
+// gridsched/internal/etc and friends), anything else falls back to the
+// standard library via the source importer.
+//
+// Expectations are trailing comments of the form
+//
+//	code() // want "regexp" `another regexp`
+//
+// Every diagnostic must match a want on its line and every want must
+// be matched exactly once. //lint:ignore suppression is applied before
+// matching, so justified-ignore fixtures simply carry no want.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gridsched/internal/lint/analysis"
+	"gridsched/internal/lint/loader"
+)
+
+// Run checks the analyzer against each fixture package path under
+// testdata (usually "testdata" relative to the test).
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &fixtureLoader{
+		testdata: testdata,
+		fset:     fset,
+		srcImp:   importer.ForCompiler(fset, "source", nil),
+		pkgs:     make(map[string]*loadedPkg),
+	}
+	for _, path := range paths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		findings, err := analysis.RunPackage(fset, pkg.files, pkg.types, pkg.info, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checkWants(t, fset, path, pkg.files, findings)
+	}
+}
+
+type loadedPkg struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+type fixtureLoader struct {
+	testdata string
+	fset     *token.FileSet
+	srcImp   types.Importer
+	pkgs     map[string]*loadedPkg
+}
+
+func (ld *fixtureLoader) load(path string) (*loadedPkg, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(ld.testdata, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := loader.NewInfo()
+	conf := types.Config{
+		Importer: importerFunc(ld.importPath),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &loadedPkg{files: files, types: tpkg, info: info}
+	ld.pkgs[path] = p
+	return p, nil
+}
+
+func (ld *fixtureLoader) importPath(path string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(ld.testdata, "src", filepath.FromSlash(path))); err == nil && st.IsDir() {
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.types, nil
+	}
+	return ld.srcImp.Import(path)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// want is one expectation: a line and a regexp that must match a
+// diagnostic's message there.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	hit  bool
+}
+
+var wantArgRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+func checkWants(t *testing.T, fset *token.FileSet, path string, files []*ast.File, findings []analysis.Finding) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, arg := range wantArgRe.FindAllString(strings.TrimPrefix(text, "want "), -1) {
+					var pat string
+					if arg[0] == '`' {
+						pat = arg[1 : len(arg)-1]
+					} else {
+						var err error
+						pat, err = strconv.Unquote(arg)
+						if err != nil {
+							t.Fatalf("%s: bad want argument %s: %v", pos, arg, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, text: pat})
+				}
+			}
+		}
+	}
+
+	for _, fd := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == fd.Position.Filename && w.line == fd.Position.Line && w.re.MatchString(fd.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic in %s: %s: %s", fd.Position, path, fd.Analyzer, fd.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.text)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package enginestop_test
+
+import (
+	"testing"
+
+	"gridsched/internal/lint/analysistest"
+	"gridsched/internal/lint/analyzers/enginestop"
+)
+
+func TestEnginestop(t *testing.T) {
+	analysistest.Run(t, "testdata", enginestop.Analyzer,
+		"gridsched/internal/tabu",
+		"gridsched/internal/util",
+	)
+}

@@ -1,0 +1,13 @@
+// Package solver stubs the budget engine's poll surface for lint
+// fixtures.
+package solver
+
+// Engine mirrors the real stop engine's method set.
+type Engine struct{}
+
+func (e *Engine) StopSweep(gens int64) bool { return false }
+func (e *Engine) StopStep(step int64) bool  { return false }
+func (e *Engine) Expired() bool             { return false }
+func (e *Engine) EvalsExhausted() bool      { return false }
+func (e *Engine) Observe(fit float64)       {}
+func (e *Engine) Evals() int64              { return 0 }

@@ -1,0 +1,103 @@
+// Package tabu is an enginestop fixture reproducing a registered
+// solver package's import path so the analyzer's gate applies.
+package tabu
+
+import (
+	"context"
+
+	"gridsched/internal/solver"
+)
+
+func work() {}
+
+// Runaway has no budget-driven exit: flagged.
+func Runaway() {
+	for { // want `infinite loop polls neither the budget Engine`
+		work()
+	}
+}
+
+// RunawayCounted is still unbounded (nil condition): flagged.
+func RunawayCounted() {
+	for i := 0; ; i++ { // want `infinite loop polls neither the budget Engine`
+		work()
+	}
+}
+
+// Bounded loops are not this analyzer's concern: clean.
+func Bounded() {
+	for i := 0; i < 100; i++ {
+		work()
+	}
+}
+
+// PollsEngine checks the budget every sweep: clean.
+func PollsEngine(eng *solver.Engine) {
+	var sweeps int64
+	for {
+		if eng.StopSweep(sweeps) {
+			return
+		}
+		sweeps++
+		work()
+	}
+}
+
+// PollsContext checks ctx.Err: clean.
+func PollsContext(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		work()
+	}
+}
+
+// WaitsOnDone blocks on the context's done channel: clean.
+func WaitsOnDone(ctx context.Context, tick <-chan struct{}) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick:
+			work()
+		}
+	}
+}
+
+// StopChannel exits through a signal-channel case: clean.
+func StopChannel(stop, tick <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick:
+			work()
+		}
+	}
+}
+
+// DrainNonBlocking exits through the select default — the bounded
+// inbox-drain pattern: clean.
+func DrainNonBlocking(inbox <-chan int) int {
+	n := 0
+	for {
+		select {
+		case v := <-inbox:
+			n += v
+		default:
+			return n
+		}
+	}
+}
+
+// Justified carries the escape hatch with a reason: suppressed.
+func Justified(done *bool) {
+	//lint:ignore enginestop fixture: the loop exits through the caller-owned flag below
+	for {
+		if *done {
+			return
+		}
+		work()
+	}
+}

@@ -1,0 +1,9 @@
+// Package util is outside the registered-solver set: infinite loops
+// here are not this analyzer's concern.
+package util
+
+func Forever(f func()) {
+	for {
+		f()
+	}
+}

@@ -1,0 +1,89 @@
+// Package floataccum protects the bit-exactness contract of
+// internal/schedule: machine completion times are accumulated through
+// the compensated double-double primitive accAdd (Knuth TwoSum +
+// renormalization), so the incremental path and the batched kernels
+// produce bit-equal results. A raw `sum += x` / `sum = sum + x` on a
+// float re-introduces the per-step rounding loss the scheme exists to
+// absorb. The pass flags raw float accumulation everywhere in
+// internal/schedule outside accAdd itself; deliberately plain paths
+// (reference recomputations, post-hoc statistics) carry a
+// //lint:ignore floataccum justification.
+package floataccum
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gridsched/internal/lint/analysis"
+	"gridsched/internal/lint/analyzers/lintutil"
+)
+
+// Analyzer is the floataccum pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "floataccum",
+	Doc:  "flags raw float += / sum = sum + x accumulation in internal/schedule outside the compensated accAdd helper",
+	Run:  run,
+}
+
+const schedulePkg = "gridsched/internal/schedule"
+
+// exemptFuncs may accumulate raw floats: they ARE the compensated
+// primitive (the TwoSum error term is itself a raw float sum).
+var exemptFuncs = map[string]bool{"accAdd": true}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() != schedulePkg {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || exemptFuncs[fd.Name.Name] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				checkAssign(pass, as)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN:
+		if len(as.Lhs) == 1 && isFloat(lintutil.TypeOf(pass.TypesInfo, as.Lhs[0])) {
+			pass.Reportf(as.TokPos, "raw float accumulation %s += …; use the compensated accAdd/accumulate helpers (or justify: //lint:ignore floataccum <reason>)", types.ExprString(as.Lhs[0]))
+		}
+	case token.ASSIGN:
+		if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return
+		}
+		lhs := as.Lhs[0]
+		if !isFloat(lintutil.TypeOf(pass.TypesInfo, lhs)) {
+			return
+		}
+		bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+		if !ok || bin.Op != token.ADD {
+			return
+		}
+		ls := types.ExprString(lhs)
+		if types.ExprString(bin.X) == ls || types.ExprString(bin.Y) == ls {
+			pass.Reportf(as.TokPos, "raw float accumulation %s = %s + …; use the compensated accAdd/accumulate helpers (or justify: //lint:ignore floataccum <reason>)", ls, ls)
+		}
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

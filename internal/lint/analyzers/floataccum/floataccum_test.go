@@ -1,0 +1,15 @@
+package floataccum_test
+
+import (
+	"testing"
+
+	"gridsched/internal/lint/analysistest"
+	"gridsched/internal/lint/analyzers/floataccum"
+)
+
+func TestFloataccum(t *testing.T) {
+	analysistest.Run(t, "testdata", floataccum.Analyzer,
+		"gridsched/internal/schedule",
+		"gridsched/internal/otherpkg",
+	)
+}

@@ -1,0 +1,11 @@
+// Package otherpkg is outside internal/schedule: raw accumulation
+// elsewhere is not this analyzer's concern.
+package otherpkg
+
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,60 @@
+// Package schedule is a floataccum fixture reproducing the real
+// package's import path so the analyzer's gate applies.
+package schedule
+
+// Sum accumulates raw with +=: flagged.
+func Sum(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x // want `raw float accumulation sum \+=`
+	}
+	return sum
+}
+
+// SumExplicit uses the x = x + e spelling: flagged.
+func SumExplicit(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total = total + x // want `raw float accumulation total = total \+`
+	}
+	return total
+}
+
+// Count accumulates an int: clean.
+func Count(xs []float64) int {
+	n := 0
+	for range xs {
+		n += 1
+	}
+	return n
+}
+
+// accAdd is the compensated primitive itself — its TwoSum error term
+// is a raw float sum by construction: exempt by name.
+func accAdd(hi, lo, v float64) (float64, float64) {
+	sum := hi + v
+	bv := sum - hi
+	err := (hi - (sum - bv)) + (v - bv)
+	err += lo
+	nh := sum + err
+	return nh, err - (nh - sum)
+}
+
+// Compensated drives accAdd: clean.
+func Compensated(xs []float64) float64 {
+	hi, lo := 0.0, 0.0
+	for _, x := range xs {
+		hi, lo = accAdd(hi, lo, x)
+	}
+	return hi + lo
+}
+
+// Justified keeps a deliberately plain reference sum: suppressed.
+func Justified(xs []float64) float64 {
+	ref := 0.0
+	for _, x := range xs {
+		//lint:ignore floataccum fixture: deliberately plain reference accumulation
+		ref += x
+	}
+	return ref
+}

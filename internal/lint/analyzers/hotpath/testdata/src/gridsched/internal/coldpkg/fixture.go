@@ -1,0 +1,13 @@
+// Package coldpkg sits outside the hot set: identical per-element
+// reads draw no findings here.
+package coldpkg
+
+import "gridsched/internal/etc"
+
+func Sum(in *etc.Instance) float64 {
+	s := 0.0
+	for t := 0; t < in.T; t++ {
+		s += in.ETC(t, 0)
+	}
+	return s
+}

@@ -1,0 +1,50 @@
+// Package lintutil holds the few type-matching helpers the
+// gridschedlint analyzers share.
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MethodCall unpacks call as a method-style selector call, returning
+// the receiver expression and method name. It matches plain selector
+// calls (x.M(...)), so package-qualified function calls (pkg.F) come
+// through too; callers disambiguate via the receiver's type.
+func MethodCall(call *ast.CallExpr) (recv ast.Expr, method string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// IsNamed reports whether t (after stripping pointers and aliases) is
+// the named type pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// IsContext reports whether t is context.Context.
+func IsContext(t types.Type) bool {
+	return t != nil && t.String() == "context.Context"
+}
+
+// TypeOf returns the type of e under info, or nil.
+func TypeOf(info *types.Info, e ast.Expr) types.Type {
+	if info == nil {
+		return nil
+	}
+	return info.TypeOf(e)
+}

@@ -1,0 +1,15 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"gridsched/internal/lint/analysistest"
+	"gridsched/internal/lint/analyzers/lockhold"
+)
+
+func TestLockhold(t *testing.T) {
+	analysistest.Run(t, "testdata", lockhold.Analyzer,
+		"gridsched/internal/service",
+		"gridsched/internal/notservice",
+	)
+}

@@ -1,0 +1,102 @@
+// Package service is a lockhold fixture reproducing the real service
+// package's import path so the analyzer's gate applies.
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+type shard struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	ch   chan int
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// sendHeld blocks on a send under the lock: flagged.
+func (sh *shard) sendHeld() {
+	sh.mu.Lock()
+	sh.ch <- 1 // want `channel send while "sh.mu" is held`
+	sh.mu.Unlock()
+}
+
+// recvHeld blocks on a receive under a deferred unlock (which only
+// releases at return): flagged.
+func (sh *shard) recvHeld() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return <-sh.ch // want `channel receive while "sh.mu" is held`
+}
+
+// waitHeld parks on a WaitGroup under the lock: flagged.
+func (sh *shard) waitHeld() {
+	sh.mu.Lock()
+	sh.wg.Wait() // want `sync sh.wg.Wait while "sh.mu" is held`
+	sh.mu.Unlock()
+}
+
+// sleepHeld sleeps under a read lock: flagged.
+func (sh *shard) sleepHeld() {
+	sh.rw.RLock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while "sh.rw" is held`
+	sh.rw.RUnlock()
+}
+
+// blockingSelectHeld has no default case: flagged.
+func (sh *shard) blockingSelectHeld() {
+	sh.mu.Lock()
+	select { // want `blocking select while "sh.mu" is held`
+	case <-sh.done:
+	case sh.ch <- 1:
+	}
+	sh.mu.Unlock()
+}
+
+// trySendHeld is the sanctioned wake pattern — a default case makes
+// the select non-blocking: clean.
+func (sh *shard) trySendHeld() {
+	sh.mu.Lock()
+	select {
+	case sh.ch <- 1:
+	default:
+	}
+	sh.mu.Unlock()
+}
+
+// unlockFirst releases before blocking: clean.
+func (sh *shard) unlockFirst() int {
+	sh.mu.Lock()
+	n := len(sh.ch)
+	sh.mu.Unlock()
+	return n + <-sh.ch
+}
+
+// branchRelease unlocks on the early-return path before blocking, and
+// on the fallthrough path before returning: clean.
+func (sh *shard) branchRelease(fast bool) int {
+	sh.mu.Lock()
+	if fast {
+		sh.mu.Unlock()
+		return <-sh.ch
+	}
+	sh.mu.Unlock()
+	return 0
+}
+
+// spawn hands blocking work to a goroutine; the literal's body does
+// not run under the creator's lock: clean.
+func (sh *shard) spawn() {
+	sh.mu.Lock()
+	go func() { sh.ch <- 1 }()
+	sh.mu.Unlock()
+}
+
+// justified carries the escape hatch with a reason: suppressed.
+func (sh *shard) justified() {
+	sh.mu.Lock()
+	//lint:ignore lockhold fixture: channel is buffered to the writer count, the send cannot block
+	sh.ch <- 1
+	sh.mu.Unlock()
+}

@@ -1,0 +1,180 @@
+// Package metrichygiene is the cardinality guard for internal/obs.
+// Two rules:
+//
+//  1. Every metric registered on an obs.Registry (Counter, Gauge,
+//     Histogram, the *Func and *Vec variants) must have a constant
+//     name carrying the gridsched_ prefix, so dashboards and scrape
+//     configs can rely on one namespace.
+//
+//  2. Every label value passed to a Vec's With must come from a
+//     bounded set: a constant string, or a call to a same-package
+//     function all of whose returns are string constants (a finite
+//     mapping such as rejectReason). Anything else — request fields,
+//     formatted integers, plain variables — is potentially unbounded
+//     cardinality and must be fixed or justified with
+//     //lint:ignore metrichygiene <reason>.
+package metrichygiene
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"gridsched/internal/lint/analysis"
+	"gridsched/internal/lint/analyzers/lintutil"
+)
+
+// Analyzer is the metrichygiene pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "metrichygiene",
+	Doc:  "flags metric names without the gridsched_ prefix and Vec label values drawn from unbounded dynamic strings",
+	Run:  run,
+}
+
+const (
+	obsPkg     = "gridsched/internal/obs"
+	namePrefix = "gridsched_"
+)
+
+// registerMethods are the obs.Registry methods whose first argument is
+// a metric name.
+var registerMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"CounterFunc": true, "GaugeFunc": true,
+	"CounterVec": true, "GaugeVec": true, "HistogramVec": true,
+}
+
+// vecTypes are the obs types whose With takes label values.
+var vecTypes = []string{"CounterVec", "GaugeVec", "HistogramVec"}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, method, ok := lintutil.MethodCall(call)
+			if !ok {
+				return true
+			}
+			rt := lintutil.TypeOf(pass.TypesInfo, recv)
+			switch {
+			case registerMethods[method] && lintutil.IsNamed(rt, obsPkg, "Registry"):
+				checkName(pass, call)
+			case method == "With" && isVec(rt):
+				for _, arg := range call.Args {
+					checkLabel(pass, arg)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isVec(t types.Type) bool {
+	for _, name := range vecTypes {
+		if lintutil.IsNamed(t, obsPkg, name) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkName(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	arg := call.Args[0]
+	name, ok := constString(pass, arg)
+	if !ok {
+		pass.Reportf(arg.Pos(), "metric name must be a constant string (got %s)", types.ExprString(arg))
+		return
+	}
+	if !strings.HasPrefix(name, namePrefix) {
+		pass.Reportf(arg.Pos(), "metric name %q lacks the %q prefix; all of this project's metrics share one namespace", name, namePrefix)
+	}
+}
+
+func checkLabel(pass *analysis.Pass, arg ast.Expr) {
+	if _, ok := constString(pass, arg); ok {
+		return
+	}
+	if call, ok := arg.(*ast.CallExpr); ok && isFiniteMapping(pass, call) {
+		return
+	}
+	pass.Reportf(arg.Pos(), "label value %s is not from a bounded set; pass a constant or a same-package finite mapping function, or justify: //lint:ignore metrichygiene <reason>", types.ExprString(arg))
+}
+
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// isFiniteMapping reports whether call invokes a function declared in
+// the package under analysis whose every return statement yields only
+// string constants — a closed label vocabulary by construction.
+func isFiniteMapping(pass *analysis.Pass, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg() != pass.Pkg {
+		return false
+	}
+	decl := findDecl(pass, fn)
+	if decl == nil || decl.Body == nil {
+		return false
+	}
+	finite := true
+	sawReturn := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if !finite {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			sawReturn = true
+			if len(n.Results) == 0 {
+				finite = false // naked return: values flow through named results
+				return false
+			}
+			for _, r := range n.Results {
+				if _, ok := constString(pass, r); !ok {
+					finite = false
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return finite && sawReturn
+}
+
+func findDecl(pass *analysis.Pass, fn *types.Func) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if pass.TypesInfo.Defs[fd.Name] == fn {
+				return fd
+			}
+		}
+	}
+	return nil
+}

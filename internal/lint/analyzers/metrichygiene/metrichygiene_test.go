@@ -1,0 +1,14 @@
+package metrichygiene_test
+
+import (
+	"testing"
+
+	"gridsched/internal/lint/analysistest"
+	"gridsched/internal/lint/analyzers/metrichygiene"
+)
+
+func TestMetrichygiene(t *testing.T) {
+	analysistest.Run(t, "testdata", metrichygiene.Analyzer,
+		"gridsched/internal/telemetry",
+	)
+}

@@ -1,0 +1,22 @@
+// Package obs stubs the metrics registry surface for lint fixtures.
+package obs
+
+type Registry struct{}
+
+func NewRegistry() *Registry { return &Registry{} }
+
+type Counter struct{}
+
+func (c *Counter) Inc() {}
+
+type CounterVec struct{}
+
+func (v *CounterVec) With(values ...string) *Counter { return &Counter{} }
+
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{}
+}
+
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {}

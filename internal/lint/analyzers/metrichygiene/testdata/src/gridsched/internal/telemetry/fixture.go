@@ -1,0 +1,38 @@
+// Package telemetry exercises both metrichygiene rules: the
+// gridsched_ name prefix and the bounded-label-value requirement.
+package telemetry
+
+import "gridsched/internal/obs"
+
+func register(reg *obs.Registry, dynamic string) {
+	reg.Counter("gridsched_good_total", "namespaced: clean")
+	reg.Counter("bad_total", "wrong namespace") // want `lacks the "gridsched_" prefix`
+	reg.Counter(dynamic, "dynamic name")        // want `metric name must be a constant string`
+	reg.GaugeFunc("gridsched_ok", "namespaced func gauge: clean", nil)
+}
+
+// outcome is a finite mapping: every return is a string constant, so
+// its results form a closed label vocabulary.
+func outcome(err error) string {
+	if err != nil {
+		return "error"
+	}
+	return "ok"
+}
+
+// describe leaks arbitrary error text: not a finite mapping.
+func describe(err error) string {
+	if err != nil {
+		return err.Error()
+	}
+	return "ok"
+}
+
+func observe(vec *obs.CounterVec, err error, raw string) {
+	vec.With("queued").Inc()
+	vec.With(outcome(err)).Inc()
+	vec.With(raw).Inc()           // want `label value raw is not from a bounded set`
+	vec.With(describe(err)).Inc() // want `label value describe\(err\) is not from a bounded set`
+	//lint:ignore metrichygiene fixture: raw is bounded by the caller's closed enum
+	vec.With(raw).Inc()
+}

@@ -1,0 +1,47 @@
+// Package lint assembles the project's static-analysis suite: five
+// passes that machine-check the invariants earlier PRs bought with
+// careful code — hot-loop slice access (PR 6), the service locking
+// contract (PR 9), compensated float accumulation (PR 4), solver
+// budget polling (PR 1), and metric-cardinality hygiene. The suite
+// ships as the cmd/gridschedlint multichecker and runs in CI next to
+// go vet.
+package lint
+
+import (
+	"gridsched/internal/lint/analysis"
+	"gridsched/internal/lint/analyzers/enginestop"
+	"gridsched/internal/lint/analyzers/floataccum"
+	"gridsched/internal/lint/analyzers/hotpath"
+	"gridsched/internal/lint/analyzers/lockhold"
+	"gridsched/internal/lint/analyzers/metrichygiene"
+	"gridsched/internal/lint/loader"
+)
+
+// All returns the full analyzer suite, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		enginestop.Analyzer,
+		floataccum.Analyzer,
+		hotpath.Analyzer,
+		lockhold.Analyzer,
+		metrichygiene.Analyzer,
+	}
+}
+
+// Check loads the packages matched by patterns in the module at dir
+// and runs the whole suite, returning the surviving findings.
+func Check(dir string, patterns ...string) ([]analysis.Finding, error) {
+	pkgs, err := loader.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []analysis.Finding
+	for _, pkg := range pkgs {
+		fs, err := analysis.RunPackage(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, All())
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	return findings, nil
+}

@@ -1,0 +1,27 @@
+package lint
+
+import "testing"
+
+// TestSuite pins the suite's composition: five complete, uniquely
+// named analyzers covering the invariants the ISSUE names.
+func TestSuite(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("expected 5 analyzers, got %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q is incomplete (name/doc/run)", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, want := range []string{"hotpath", "lockhold", "floataccum", "enginestop", "metrichygiene"} {
+		if !seen[want] {
+			t.Errorf("missing analyzer %q", want)
+		}
+	}
+}

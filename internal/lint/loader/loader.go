@@ -1,0 +1,152 @@
+// Package loader type-checks the module's packages for gridschedlint
+// without any dependency beyond the go toolchain itself. It shells out
+// to `go list -json -deps` for the build-constraint-filtered file
+// lists (emitted in dependency order), parses the module's sources
+// with comments, and type-checks them with go/types, resolving
+// standard-library imports through the go/importer source importer and
+// module-internal imports from the packages it has already checked.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// A Package is one type-checked module package, ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+}
+
+// Load type-checks the packages matched by patterns (e.g. "./...")
+// in the module rooted at (or containing) dir, returning only the
+// matched packages; their module-internal dependencies are checked
+// too, but not returned. Test files are excluded, as are testdata
+// trees (the go tool skips both).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	metas, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	srcImp := importer.ForCompiler(fset, "source", nil)
+	checked := make(map[string]*types.Package)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := checked[path]; ok {
+			return p, nil
+		}
+		return srcImp.Import(path)
+	})
+
+	var out []*Package
+	for _, m := range metas {
+		// Standard-library deps are resolved lazily by the source
+		// importer; only module packages are parsed here.
+		if m.Standard || len(m.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range m.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(m.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("loader: %w", err)
+			}
+			files = append(files, f)
+		}
+		info := NewInfo()
+		var typeErrs []error
+		conf := types.Config{
+			Importer: imp,
+			Sizes:    types.SizesFor("gc", runtime.GOARCH),
+			Error:    func(err error) { typeErrs = append(typeErrs, err) },
+		}
+		tpkg, _ := conf.Check(m.ImportPath, fset, files, info)
+		if len(typeErrs) > 0 {
+			return nil, fmt.Errorf("loader: type-checking %s: %v (and %d more)", m.ImportPath, typeErrs[0], len(typeErrs)-1)
+		}
+		checked[m.ImportPath] = tpkg
+		if !m.DepOnly {
+			out = append(out, &Package{
+				Path:  m.ImportPath,
+				Dir:   m.Dir,
+				Fset:  fset,
+				Files: files,
+				Types: tpkg,
+				Info:  info,
+			})
+		}
+	}
+	return out, nil
+}
+
+// NewInfo allocates a types.Info with every map the analyzers read.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// goList runs `go list -json -deps` and decodes its package stream,
+// which the go tool guarantees to be in dependency order (every
+// package appears after all of its imports).
+func goList(dir string, patterns []string) ([]listPackage, error) {
+	args := append([]string{"list", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("loader: go list %s: %s", strings.Join(patterns, " "), msg)
+	}
+	dec := json.NewDecoder(&stdout)
+	var metas []listPackage
+	for dec.More() {
+		var m listPackage
+		if err := dec.Decode(&m); err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %w", err)
+		}
+		metas = append(metas, m)
+	}
+	return metas, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

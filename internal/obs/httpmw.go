@@ -79,6 +79,32 @@ func Instrument(requests *CounterVec, next http.Handler) http.Handler {
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
-		requests.With(strconv.Itoa(sw.status), r.Method).Inc()
+		//lint:ignore metrichygiene status codes are server-chosen from a small fixed set; the method label is bounded by methodLabel below
+		requests.With(strconv.Itoa(sw.status), methodLabel(r.Method)).Inc()
 	})
+}
+
+// methodLabel folds the request method into a closed label set. The
+// method string is client-controlled (any token is a syntactically
+// valid method), so using it verbatim would let clients mint unbounded
+// label values; anything beyond the standard methods becomes "other".
+func methodLabel(m string) string {
+	switch m {
+	case "GET":
+		return "GET"
+	case "HEAD":
+		return "HEAD"
+	case "POST":
+		return "POST"
+	case "PUT":
+		return "PUT"
+	case "PATCH":
+		return "PATCH"
+	case "DELETE":
+		return "DELETE"
+	case "OPTIONS":
+		return "OPTIONS"
+	default:
+		return "other"
+	}
 }
